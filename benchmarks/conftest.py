@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures.
+
+Building pure-Python HNSW indexes dominates bench time, so built systems are
+cached on disk under ``.bench_cache/`` (keyed by dataset + scale + system).
+The first full run builds everything; later runs load in seconds.  Control
+scale with ``REPRO_BENCH_SCALE`` in {smoke, small, large} (default: small).
+
+Bench output tables are printed and also written to ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import bench_scale, cached_system, dataset_for
+from repro.competitors import MilvusSim, Neo4jSim, NeptuneSim, TigerVectorSystem
+
+RESULTS_DIR = Path("bench_results")
+
+SYSTEM_FACTORIES = {
+    "TigerVector": TigerVectorSystem,
+    "Milvus": MilvusSim,
+    "Neo4j": Neo4jSim,
+    "Neptune": NeptuneSim,
+}
+
+
+def build_system(name: str, dataset, segment_size: int):
+    factory = SYSTEM_FACTORIES[name]
+    if name in ("TigerVector", "Milvus"):
+        system = factory(segment_size=segment_size)
+    else:
+        system = factory()
+    system.load_and_build(dataset)
+    return system
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def datasets(scale):
+    return {
+        "SIFT": dataset_for("sift"),
+        "Deep": dataset_for("deep"),
+    }
+
+
+@pytest.fixture(scope="session")
+def systems(scale, datasets):
+    """All four systems built on both datasets (disk-cached)."""
+    out = {}
+    for ds_name, dataset in datasets.items():
+        for sys_name in SYSTEM_FACTORIES:
+            key = f"{sys_name}-{ds_name}-{scale.name}-{len(dataset)}"
+            out[(sys_name, ds_name)] = cached_system(
+                key, lambda s=sys_name, d=dataset: build_system(s, d, scale.segment_size)
+            )
+    return out
+
+
+def record_table(name: str, text: str) -> None:
+    """Print a bench table and persist it for EXPERIMENTS.md."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,104 @@
+"""Figure 7: throughput (QPS) vs recall@10 on SIFT-like and Deep-like data.
+
+Paper shape: TigerVector and Milvus trace full QPS/recall curves (tunable
+ef); Neo4j and Neptune are single fixed points.  TigerVector simultaneously
+beats Neo4j on QPS (5.19x / 3.77x) and recall (+23% / +26%), beats Neptune
+1.93-2.7x at comparable high recall, and edges out Milvus 1.07-1.61x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale, format_table, recall_at_k
+
+from .conftest import record_table
+
+EF_SWEEP = (8, 16, 32, 64, 128, 256)
+K = 10
+CLIENT_THREADS = 16  # the paper uses 16 query threads
+
+
+def evaluate_point(system, dataset, ef):
+    queries = dataset.queries
+    ids = []
+    services = []
+    for q in queries:
+        # min of two runs per query: measured compute is sensitive to
+        # transient machine load, which would otherwise swamp the modeled
+        # engine differences (all systems share the same HNSW kernels)
+        runs = [system.search(q, K, ef=ef) for _ in range(2)]
+        best = min(runs, key=lambda m: m.service_seconds)
+        ids.append(best.ids.tolist())
+        services.append(best.service_seconds)
+    recall = recall_at_k(ids, dataset.gt_ids, K)
+    mean_service = sum(services) / len(services)
+    return recall, system.qps(mean_service, CLIENT_THREADS)
+
+
+@pytest.mark.parametrize("ds_name", ["SIFT", "Deep"])
+def test_fig7_throughput_vs_recall(benchmark, systems, datasets, ds_name):
+    dataset = datasets[ds_name]
+    rows = []
+    points = {}
+    for sys_name in ("TigerVector", "Milvus"):
+        system = systems[(sys_name, ds_name)]
+        for ef in EF_SWEEP:
+            recall, qps = evaluate_point(system, dataset, ef)
+            rows.append([sys_name, ef, round(recall, 4), round(qps)])
+            points[(sys_name, ef)] = (recall, qps)
+    for sys_name in ("Neo4j", "Neptune"):
+        system = systems[(sys_name, ds_name)]
+        recall, qps = evaluate_point(system, dataset, None)
+        rows.append([sys_name, system.profile.fixed_ef, round(recall, 4), round(qps)])
+        points[(sys_name, None)] = (recall, qps)
+
+    record_table(
+        f"fig7_{ds_name.lower()}",
+        format_table(
+            ["system", "ef", "recall@10", "QPS (16 threads)"],
+            rows,
+            title=f"Figure 7 — throughput vs recall, {ds_name}-like "
+            f"({len(dataset)} vectors)",
+        ),
+    )
+
+    if bench_scale().name == "smoke":
+        # smoke scale is a wiring sanity check; comparative shapes need
+        # enough data that compute dominates (small/large scales).
+        tv_system = systems[("TigerVector", ds_name)]
+        benchmark(lambda: tv_system.search(dataset.queries[0], K, ef=64))
+        return
+
+    neo_recall, neo_qps = points[("Neo4j", None)]
+    nep_recall, nep_qps = points[("Neptune", None)]
+
+    # TigerVector beats Neo4j on QPS AND recall simultaneously (paper: 5.19x
+    # QPS with +23% recall). Find the TV point nearest Neo4j-dominance.
+    dominating = [
+        (recall, qps)
+        for (name, ef), (recall, qps) in points.items()
+        if name == "TigerVector" and recall > neo_recall + 0.05 and qps > neo_qps
+    ]
+    assert dominating, "TigerVector should dominate Neo4j's single point"
+    best = max(dominating, key=lambda p: p[1])
+    assert best[1] / neo_qps > 2.0, "expected a multi-x QPS win over Neo4j"
+
+    # At comparable high recall TigerVector out-throughputs Neptune ~2x.
+    tv_high = [
+        (recall, qps)
+        for (name, ef), (recall, qps) in points.items()
+        if name == "TigerVector" and recall >= nep_recall - 0.02
+    ]
+    assert tv_high, "TigerVector should reach Neptune's recall regime"
+    assert max(q for _, q in tv_high) > 1.3 * nep_qps
+
+    # TigerVector at least matches Milvus at equal ef (paper: 1.07-1.61x).
+    for ef in EF_SWEEP:
+        tv = points[("TigerVector", ef)]
+        mv = points[("Milvus", ef)]
+        assert tv[1] > 0.95 * mv[1], f"TigerVector should not lose to Milvus at ef={ef}"
+
+    # pytest-benchmark: time one representative TigerVector search.
+    tv_system = systems[("TigerVector", ds_name)]
+    benchmark(lambda: tv_system.search(dataset.queries[0], K, ef=64))

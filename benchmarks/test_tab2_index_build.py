@@ -1,0 +1,82 @@
+"""Table 2: index building time — end-to-end / data load / index build.
+
+Paper shape: TigerVector's end-to-end time is 5.2-6.8x shorter than Neo4j
+(whose Lucene pipeline builds slowly) and 1.86-2.16x shorter than Milvus
+(whose raw-vector data loading path is 9.6-22.5x slower, while its index
+build is comparable at ~1.07x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+
+from .conftest import record_table
+
+
+@pytest.mark.parametrize("ds_name", ["SIFT", "Deep"])
+def test_tab2_index_build(benchmark, systems, datasets, ds_name):
+    dataset = datasets[ds_name]
+    timings = {}
+    rows = []
+    for sys_name in ("TigerVector", "Milvus", "Neo4j"):
+        system = systems[(sys_name, ds_name)]
+        t = {
+            "data_load_seconds": system.load_seconds,
+            "index_build_seconds": system.build_seconds,
+            "end_to_end_seconds": system.load_seconds + system.build_seconds,
+        }
+        timings[sys_name] = t
+        rows.append(
+            [
+                sys_name,
+                round(t["end_to_end_seconds"], 2),
+                round(t["data_load_seconds"], 3),
+                round(t["index_build_seconds"], 2),
+            ]
+        )
+
+    record_table(
+        f"tab2_{ds_name.lower()}",
+        format_table(
+            ["system", "end-to-end (s)", "data load (s)", "index build (s)"],
+            rows,
+            title=f"Table 2 — index building time, {ds_name}-like ({len(dataset)} vectors)",
+        ),
+    )
+
+    import numpy as np
+
+    from repro.bench import bench_scale
+    from repro.index import HNSWIndex
+
+    chunk = dataset.vectors[:500]
+
+    def build_small():
+        index = HNSWIndex(dataset.dim, dataset.metric, M=16, ef_construction=64)
+        index.update_items(np.arange(len(chunk)), chunk)
+        return index
+
+    if bench_scale().name == "smoke":
+        benchmark.pedantic(build_small, rounds=1, iterations=1)
+        return
+
+    tv = timings["TigerVector"]
+    milvus = timings["Milvus"]
+    neo = timings["Neo4j"]
+
+    # Neo4j's build is a multiple of TigerVector's (paper: 5.2-6.8x e2e).
+    assert neo["index_build_seconds"] > 3.0 * tv["index_build_seconds"]
+    assert neo["end_to_end_seconds"] > 3.0 * tv["end_to_end_seconds"]
+    # Milvus loads data far slower (paper: 9.6-22.5x) but builds comparably.
+    # (The parse-path gap compounds with row width; at this scale assert 3x.)
+    assert milvus["data_load_seconds"] > 3.0 * tv["data_load_seconds"]
+    assert milvus["index_build_seconds"] < 2.0 * tv["index_build_seconds"]
+    # Which makes Milvus slower end to end. (The paper's 1.86-2.16x gap is
+    # load-dominated at 100M rows; at laptop scale the build dominates, so we
+    # assert ordering rather than the factor.)
+    assert milvus["end_to_end_seconds"] > tv["end_to_end_seconds"]
+
+    # pytest-benchmark: time a small real build (the measured quantity).
+    benchmark.pedantic(build_small, rounds=1, iterations=1)

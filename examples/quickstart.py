@@ -1,0 +1,114 @@
+"""Quickstart: schema, loading, and every vector-search shape from the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TigerVectorDB
+
+DIM = 64
+NUM_POSTS = 500
+rng = np.random.default_rng(7)
+
+
+def main() -> None:
+    db = TigerVectorDB(segment_size=128)
+
+    # --- schema, using the exact DDL surface from the paper (Sec. 4.1) ----
+    db.run_gsql(
+        """
+        CREATE VERTEX Person (id INT PRIMARY KEY, firstName STRING);
+        CREATE VERTEX Post (id INT PRIMARY KEY, language STRING, length INT);
+        CREATE UNDIRECTED EDGE knows (FROM Person, TO Person);
+        CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+
+        ALTER VERTEX Post
+        ADD EMBEDDING ATTRIBUTE content_emb (
+          DIMENSION = 64,
+          MODEL = GPT4,
+          INDEX = HNSW,
+          DATATYPE = FLOAT,
+          METRIC = L2
+        );
+        """
+    )
+
+    # --- load a small social graph with embeddings ------------------------
+    vectors = rng.standard_normal((NUM_POSTS, DIM)).astype(np.float32)
+    with db.begin() as txn:
+        for pid in range(20):
+            txn.upsert_vertex("Person", pid, {"firstName": "Alice" if pid == 0 else f"P{pid}"})
+        for a in range(20):
+            for b in range(a + 1, 20):
+                if rng.random() < 0.2:
+                    txn.add_edge("knows", a, b)
+        for i in range(NUM_POSTS):
+            txn.upsert_vertex(
+                "Post", i,
+                {"language": "en" if i % 3 else "fr", "length": int(rng.integers(50, 3000))},
+            )
+            txn.set_embedding("Post", i, "content_emb", vectors[i])
+            txn.add_edge("hasCreator", i, i % 20)
+    db.vacuum()  # fold deltas into per-segment HNSW snapshots
+    print(f"loaded {NUM_POSTS} posts across "
+          f"{db.service.store('Post', 'content_emb').num_segments} embedding segments")
+
+    query = vectors[42] + 0.05
+
+    # --- 1. pure top-k vector search (Sec. 5.1) ---------------------------
+    r = db.run_gsql(
+        "SELECT s FROM (s:Post) "
+        "ORDER BY VECTOR_DIST(s.content_emb, query_vector) LIMIT k;",
+        query_vector=query.tolist(), k=5,
+    )
+    print("\npure top-5:")
+    for (vtype, vid), dist in r.result.ranking:
+        print(f"  Post({db.pk_for(vtype, vid)})  dist={dist:.3f}")
+    print("plan:\n " + r.metrics["last_plan"].replace("\n", "\n "))
+
+    # --- 2. filtered vector search (Sec. 5.2) -----------------------------
+    r = db.run_gsql(
+        'SELECT s FROM (s:Post) WHERE s.language = "fr" '
+        "ORDER BY VECTOR_DIST(s.content_emb, query_vector) LIMIT k;",
+        query_vector=query.tolist(), k=5,
+    )
+    print("\nfiltered top-5 (french posts only):")
+    for (vtype, vid), dist in r.result.ranking:
+        print(f"  Post({db.pk_for(vtype, vid)})  dist={dist:.3f}")
+
+    # --- 3. range search (Sec. 5.1) ---------------------------------------
+    r = db.run_gsql(
+        "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, qv) < 40.0;",
+        qv=query.tolist(),
+    )
+    print(f"\nrange search: {len(r.result)} posts within distance 40")
+
+    # --- 4. vector search on a graph pattern (Sec. 5.3) -------------------
+    r = db.run_gsql(
+        "SELECT t FROM (s:Person) - [:knows] -> (:Person) "
+        "<- [:hasCreator] - (t:Post) "
+        'WHERE s.firstName = "Alice" AND t.length > 1000 '
+        "ORDER BY VECTOR_DIST(t.content_emb, query_vector) LIMIT k;",
+        query_vector=query.tolist(), k=5,
+    )
+    print(f"\nhybrid pattern search: {len(r.result)} long posts by Alice's "
+          f"friends (candidates={r.metrics['num_candidates']}, "
+          f"vector search {r.metrics['vector_seconds']*1000:.2f} ms)")
+
+    # --- 5. vector similarity join (Sec. 5.4) -----------------------------
+    r = db.run_gsql(
+        "SELECT s, t FROM (s:Post) - [:hasCreator] -> (u:Person) "
+        "<- [:hasCreator] - (t:Post) "
+        'WHERE u.firstName = "Alice" '
+        "ORDER BY VECTOR_DIST(s.content_emb, t.content_emb) LIMIT 3;"
+    )
+    print("\nmost similar post pairs by the same author (Alice):")
+    for row in r.result:
+        print(f"  {row['s']} ~ {row['t']}  dist={row['distance']:.3f}")
+
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

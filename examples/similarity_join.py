@@ -1,0 +1,91 @@
+"""Case-law similarity — the paper's vector-similarity-join use case (Sec. 5.4).
+
+"Identify similar cases for legal research by finding top-k case pairs
+(source, target) connected by Case -> Cites -> Statute <- Cites <- Case,
+where the embedding of each Case represents the text of legal arguments."
+
+The join enumerates the (sparse) matched paths, brute-forces the pair
+distances, and keeps the global top-k in a heap accumulator — exactly the
+paper's execution strategy.
+
+Run:  python examples/similarity_join.py
+"""
+
+import numpy as np
+
+from repro import TigerVectorDB
+
+DIM = 40
+NUM_CASES = 150
+NUM_STATUTES = 12
+rng = np.random.default_rng(31)
+
+
+def main() -> None:
+    db = TigerVectorDB(segment_size=64)
+    db.run_gsql(
+        """
+        CREATE VERTEX Case (id INT PRIMARY KEY, year INT, court STRING);
+        CREATE VERTEX Statute (id INT PRIMARY KEY, title STRING);
+        CREATE DIRECTED EDGE cites (FROM Case, TO Statute);
+        ALTER VERTEX Case ADD EMBEDDING ATTRIBUTE argument_emb
+          (DIMENSION = 40, MODEL = legal, INDEX = HNSW, DATATYPE = FLOAT, METRIC = COSINE);
+        """
+    )
+
+    # Cases about the same statute argue in similar language: the embedding
+    # is statute-centroid + noise, so the join should surface same-statute
+    # pairs with genuinely close arguments.
+    centroids = rng.standard_normal((NUM_STATUTES, DIM)).astype(np.float32) * 2.0
+    with db.begin() as txn:
+        for sid in range(NUM_STATUTES):
+            txn.upsert_vertex("Statute", sid, {"title": f"statute-{sid}"})
+        for cid in range(NUM_CASES):
+            primary = int(rng.integers(0, NUM_STATUTES))
+            txn.upsert_vertex(
+                "Case", cid,
+                {"year": int(rng.integers(1990, 2024)), "court": f"court-{cid % 5}"},
+            )
+            txn.set_embedding(
+                "Case", cid, "argument_emb",
+                centroids[primary] + rng.standard_normal(DIM).astype(np.float32) * 0.7,
+            )
+            txn.add_edge("cites", cid, primary)
+            if rng.random() < 0.3:  # some cases cite a second statute
+                txn.add_edge("cites", cid, int(rng.integers(0, NUM_STATUTES)))
+    db.vacuum()
+
+    # Case -> cites -> Statute <- cites <- Case similarity join.
+    result = db.run_gsql(
+        "SELECT s, t FROM (s:Case) - [:cites] -> (u:Statute) "
+        "<- [:cites] - (t:Case) "
+        "ORDER BY VECTOR_DIST(s.argument_emb, t.argument_emb) LIMIT 8;"
+    )
+    print("top-8 most similar case pairs that cite a common statute:")
+    for row in result.result:
+        print(f"  {row['s']} ~ {row['t']}   cosine dist={row['distance']:.4f}")
+
+    # Narrowed variant: only recent cases from one court.
+    result = db.run_gsql(
+        "SELECT s, t FROM (s:Case) - [:cites] -> (u:Statute) "
+        "<- [:cites] - (t:Case) "
+        'WHERE s.year > 2015 AND t.year > 2015 AND s.court = "court-0" '
+        "ORDER BY VECTOR_DIST(s.argument_emb, t.argument_emb) LIMIT 5;"
+    )
+    print("\nrecent court-0 cases with similar arguments:")
+    for row in result.result:
+        print(f"  {row['s']} ~ {row['t']}   cosine dist={row['distance']:.4f}")
+
+    plan = db.gsql.explain(
+        "SELECT s, t FROM (s:Case) - [:cites] -> (u:Statute) "
+        "<- [:cites] - (t:Case) "
+        "ORDER BY VECTOR_DIST(s.argument_emb, t.argument_emb) LIMIT 8;"
+    )
+    print("\nquery plan (bottom-up, as in the paper):")
+    for line in plan.splitlines():
+        print("  " + line)
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e . --no-build-isolation --no-use-pep517` (setup.py develop)
+is the supported editable-install path.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""TigerVector reproduction: vector search inside an MPP graph database.
+
+A pure-Python reproduction of *TigerVector: Supporting Vector Search in
+Graph Databases for Advanced RAGs* (SIGMOD 2025): a segmented property-graph
+engine with MVCC transactions, decoupled embedding storage with per-segment
+HNSW indexes, a two-stage vector vacuum, a GSQL-subset query language with
+declarative and composable vector search, a simulated MPP cluster, and
+behavioral simulators for the paper's competitor systems.
+
+Quick start::
+
+    from repro import TigerVectorDB
+
+    db = TigerVectorDB()
+    db.run_gsql('''
+        CREATE VERTEX Post (id INT PRIMARY KEY, language STRING);
+        ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb
+          (DIMENSION = 128, MODEL = GPT4, INDEX = HNSW,
+           DATATYPE = FLOAT, METRIC = L2);
+    ''')
+    with db.begin() as txn:
+        txn.upsert_vertex("Post", 1, {"language": "en"})
+        txn.set_embedding("Post", 1, "content_emb", vec)
+    db.vacuum()
+    top = db.run_gsql(
+        "SELECT s FROM (s:Post) "
+        "ORDER BY VECTOR_DIST(s.content_emb, query_vector) LIMIT k;",
+        query_vector=vec, k=10,
+    ).result
+"""
+
+from .core.database import TigerVectorDB
+from .core.embedding import EmbeddingSpace, EmbeddingType
+from .errors import ReproError
+from .graph.schema import Attribute, EdgeType, GraphSchema, VertexType
+from .graph.vertex_set import RankedVertexSet, VertexSet
+from .types import AttrType, DataType, IndexType, Metric
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttrType",
+    "Attribute",
+    "DataType",
+    "EdgeType",
+    "EmbeddingSpace",
+    "EmbeddingType",
+    "GraphSchema",
+    "IndexType",
+    "Metric",
+    "RankedVertexSet",
+    "ReproError",
+    "TigerVectorDB",
+    "VertexSet",
+    "VertexType",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Graph algorithms that compose with vector search (paper Sec. 5.5, Q4).
+
+GSQL ships a graph algorithm library (``tg_louvain`` etc.); the paper's Q4
+combines Louvain community detection with per-community top-k vector search.
+These implementations operate on a storage snapshot via a common adjacency
+extraction helper.
+"""
+
+from .bfs import bfs_distances, single_source_shortest_path
+from .common import build_adjacency
+from .louvain import louvain_communities
+from .pagerank import pagerank
+from .wcc import weakly_connected_components
+
+__all__ = [
+    "bfs_distances",
+    "build_adjacency",
+    "louvain_communities",
+    "pagerank",
+    "single_source_shortest_path",
+    "weakly_connected_components",
+]

@@ -1,0 +1,66 @@
+"""Breadth-first search utilities over a storage snapshot."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from ..graph.schema import GraphSchema
+from ..graph.txn import Snapshot
+from .common import Member, build_adjacency
+
+__all__ = ["bfs_distances", "single_source_shortest_path"]
+
+
+def bfs_distances(
+    snapshot: Snapshot,
+    schema: GraphSchema,
+    source: Member,
+    vertex_types: Iterable[str],
+    edge_types: Iterable[str],
+    max_depth: int | None = None,
+) -> dict[Member, int]:
+    """Hop distance from ``source`` to every reachable vertex."""
+    adjacency = build_adjacency(snapshot, schema, vertex_types, edge_types, symmetric=False)
+    if source not in adjacency:
+        return {}
+    distances: dict[Member, int] = {source: 0}
+    queue: deque[Member] = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in adjacency[node]:
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append(neighbor)
+    return distances
+
+
+def single_source_shortest_path(
+    snapshot: Snapshot,
+    schema: GraphSchema,
+    source: Member,
+    target: Member,
+    vertex_types: Iterable[str],
+    edge_types: Iterable[str],
+) -> list[Member] | None:
+    """One shortest hop-path from source to target, or None if unreachable."""
+    adjacency = build_adjacency(snapshot, schema, vertex_types, edge_types, symmetric=False)
+    if source not in adjacency:
+        return None
+    parents: dict[Member, Member | None] = {source: None}
+    queue: deque[Member] = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            path = [node]
+            while parents[path[-1]] is not None:
+                path.append(parents[path[-1]])
+            return list(reversed(path))
+        for neighbor in adjacency[node]:
+            if neighbor not in parents:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return None

@@ -1,0 +1,47 @@
+"""Shared helpers for graph algorithms: snapshot -> adjacency extraction."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.schema import GraphSchema
+from ..graph.txn import Snapshot
+
+__all__ = ["build_adjacency"]
+
+Member = tuple[str, int]  # (vertex_type, vid)
+
+
+def build_adjacency(
+    snapshot: Snapshot,
+    schema: GraphSchema,
+    vertex_types: Iterable[str],
+    edge_types: Iterable[str],
+    symmetric: bool = True,
+) -> dict[Member, list[Member]]:
+    """Adjacency lists over the chosen vertex and edge types.
+
+    ``symmetric=True`` adds the reverse direction for directed edges, which
+    community detection and WCC want; PageRank passes ``False``.
+    """
+    vertex_types = list(vertex_types)
+    edge_types = list(edge_types)
+    wanted = set(vertex_types)
+    adjacency: dict[Member, list[Member]] = {}
+    for vertex_type in vertex_types:
+        for vid in snapshot.iter_vids(vertex_type):
+            adjacency[(vertex_type, vid)] = []
+    for edge_name in edge_types:
+        etype = schema.edge_type(edge_name)
+        if etype.from_type not in wanted or etype.to_type not in wanted:
+            continue
+        for vid in snapshot.iter_vids(etype.from_type):
+            source = (etype.from_type, vid)
+            for target in snapshot.neighbors(etype.from_type, vid, edge_name):
+                member = (etype.to_type, target)
+                if member not in adjacency:
+                    continue
+                adjacency[source].append(member)
+                if symmetric and etype.directed:
+                    adjacency[member].append(source)
+    return adjacency

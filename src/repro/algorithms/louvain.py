@@ -1,0 +1,143 @@
+"""Louvain community detection (Blondel et al. 2008), from scratch.
+
+The paper's Q4 uses ``tg_louvain`` to tag Person vertices with a community
+id, then runs a top-k vector search inside each community.  This is the
+classic two-phase algorithm: local modularity-gain moves until convergence,
+then graph aggregation, repeated until modularity stops improving.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from ..graph.schema import GraphSchema
+from ..graph.txn import Snapshot
+from .common import Member, build_adjacency
+
+__all__ = ["louvain_communities", "louvain_on_adjacency"]
+
+
+def louvain_on_adjacency(
+    adjacency: dict[Member, list[Member]],
+    resolution: float = 1.0,
+    seed: int = 7,
+    max_levels: int = 10,
+) -> dict[Member, int]:
+    """Community id per node for an undirected (symmetrized) adjacency.
+
+    Parallel edges accumulate weight; self-loops are allowed (they appear
+    during aggregation).  Returns dense community ids starting at 0.
+    """
+    nodes = list(adjacency)
+    if not nodes:
+        return {}
+    # Weighted edge dict from the (possibly multi-) adjacency.
+    weights: dict[tuple[int, int], float] = {}
+    index = {node: i for i, node in enumerate(nodes)}
+    for node, neighbors in adjacency.items():
+        u = index[node]
+        for neighbor in neighbors:
+            v = index[neighbor]
+            if u <= v:
+                key = (u, v)
+                weights[key] = weights.get(key, 0.0) + (0.5 if u != v else 1.0)
+    # Each undirected edge was visited from both endpoints, hence the 0.5.
+
+    membership = list(range(len(nodes)))  # node -> community at finest level
+    current_edges = weights
+    current_n = len(nodes)
+    rng = random.Random(seed)
+
+    for _ in range(max_levels):
+        moved, labels = _one_level(current_n, current_edges, resolution, rng)
+        # Re-map memberships through this level's labels.
+        membership = [labels[c] for c in membership]
+        if not moved:
+            break
+        # Aggregate: communities become nodes.
+        new_ids = sorted(set(labels))
+        remap = {c: i for i, c in enumerate(new_ids)}
+        membership = [remap[c] for c in membership]
+        aggregated: dict[tuple[int, int], float] = {}
+        for (u, v), w in current_edges.items():
+            cu, cv = remap[labels[u]], remap[labels[v]]
+            key = (min(cu, cv), max(cu, cv))
+            aggregated[key] = aggregated.get(key, 0.0) + w
+        current_edges = aggregated
+        current_n = len(new_ids)
+
+    dense = {c: i for i, c in enumerate(sorted(set(membership)))}
+    return {node: dense[membership[index[node]]] for node in nodes}
+
+
+def _one_level(
+    n: int,
+    edges: dict[tuple[int, int], float],
+    resolution: float,
+    rng: random.Random,
+) -> tuple[bool, list[int]]:
+    """One local-move phase; returns (any_move_happened, node->community)."""
+    neighbors: list[dict[int, float]] = [dict() for _ in range(n)]
+    degree = [0.0] * n
+    self_loops = [0.0] * n
+    total_weight = 0.0
+    for (u, v), w in edges.items():
+        total_weight += w
+        if u == v:
+            self_loops[u] += w
+            degree[u] += 2 * w
+        else:
+            neighbors[u][v] = neighbors[u].get(v, 0.0) + w
+            neighbors[v][u] = neighbors[v].get(u, 0.0) + w
+            degree[u] += w
+            degree[v] += w
+    if total_weight == 0.0:
+        return False, list(range(n))
+    m2 = 2.0 * total_weight
+
+    community = list(range(n))
+    comm_degree = degree[:]  # sum of degrees per community
+    order = list(range(n))
+    rng.shuffle(order)
+    moved_any = False
+    improved = True
+    while improved:
+        improved = False
+        for u in order:
+            cu = community[u]
+            ku = degree[u]
+            # Weights from u to each neighbouring community.
+            to_comm: dict[int, float] = {}
+            for v, w in neighbors[u].items():
+                to_comm[community[v]] = to_comm.get(community[v], 0.0) + w
+            # Detach u.
+            comm_degree[cu] -= ku
+            base = to_comm.get(cu, 0.0) - resolution * ku * comm_degree[cu] / m2
+            best_comm, best_gain = cu, 0.0
+            for candidate, w_in in to_comm.items():
+                if candidate == cu:
+                    continue
+                gain = (w_in - resolution * ku * comm_degree[candidate] / m2) - base
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_comm = candidate
+            community[u] = best_comm
+            comm_degree[best_comm] += ku
+            if best_comm != cu:
+                improved = True
+                moved_any = True
+    return moved_any, community
+
+
+def louvain_communities(
+    snapshot: Snapshot,
+    schema: GraphSchema,
+    vertex_types: Iterable[str],
+    edge_types: Iterable[str],
+    resolution: float = 1.0,
+    seed: int = 7,
+) -> dict[Member, int]:
+    """Louvain over a storage snapshot; ``(vertex_type, vid) -> community``."""
+    adjacency = build_adjacency(snapshot, schema, vertex_types, edge_types, symmetric=True)
+    return louvain_on_adjacency(adjacency, resolution=resolution, seed=seed)

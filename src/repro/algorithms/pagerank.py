@@ -1,0 +1,56 @@
+"""PageRank with damping, over a storage snapshot."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.schema import GraphSchema
+from ..graph.txn import Snapshot
+from .common import Member, build_adjacency
+
+__all__ = ["pagerank", "pagerank_on_adjacency"]
+
+
+def pagerank_on_adjacency(
+    adjacency: dict[Member, list[Member]],
+    damping: float = 0.85,
+    iterations: int = 20,
+    tolerance: float = 1e-9,
+) -> dict[Member, float]:
+    """Power iteration; dangling mass is redistributed uniformly."""
+    nodes = list(adjacency)
+    n = len(nodes)
+    if n == 0:
+        return {}
+    index = {node: i for i, node in enumerate(nodes)}
+    out_degree = [len(adjacency[node]) for node in nodes]
+    rank = [1.0 / n] * n
+    for _ in range(iterations):
+        next_rank = [0.0] * n
+        dangling = 0.0
+        for i, node in enumerate(nodes):
+            if out_degree[i] == 0:
+                dangling += rank[i]
+                continue
+            share = rank[i] / out_degree[i]
+            for neighbor in adjacency[node]:
+                next_rank[index[neighbor]] += share
+        base = (1.0 - damping) / n + damping * dangling / n
+        next_rank = [base + damping * r for r in next_rank]
+        delta = sum(abs(a - b) for a, b in zip(next_rank, rank))
+        rank = next_rank
+        if delta < tolerance:
+            break
+    return {node: rank[index[node]] for node in nodes}
+
+
+def pagerank(
+    snapshot: Snapshot,
+    schema: GraphSchema,
+    vertex_types: Iterable[str],
+    edge_types: Iterable[str],
+    damping: float = 0.85,
+    iterations: int = 20,
+) -> dict[Member, float]:
+    adjacency = build_adjacency(snapshot, schema, vertex_types, edge_types, symmetric=False)
+    return pagerank_on_adjacency(adjacency, damping=damping, iterations=iterations)

@@ -1,0 +1,58 @@
+"""Weakly connected components via union-find."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.schema import GraphSchema
+from ..graph.txn import Snapshot
+from .common import Member, build_adjacency
+
+__all__ = ["weakly_connected_components"]
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: dict[Member, Member] = {}
+        self.rank: dict[Member, int] = {}
+
+    def find(self, item: Member) -> Member:
+        parent = self.parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self.parent[item] = root
+            return root
+        return item
+
+    def union(self, a: Member, b: Member) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank.get(ra, 0) < self.rank.get(rb, 0):
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank.get(ra, 0) == self.rank.get(rb, 0):
+            self.rank[ra] = self.rank.get(ra, 0) + 1
+
+
+def weakly_connected_components(
+    snapshot: Snapshot,
+    schema: GraphSchema,
+    vertex_types: Iterable[str],
+    edge_types: Iterable[str],
+) -> dict[Member, int]:
+    """``(vertex_type, vid) -> dense component id`` ignoring edge direction."""
+    adjacency = build_adjacency(snapshot, schema, vertex_types, edge_types, symmetric=True)
+    uf = _UnionFind()
+    for node, neighbors in adjacency.items():
+        uf.find(node)
+        for neighbor in neighbors:
+            uf.union(node, neighbor)
+    roots: dict[Member, int] = {}
+    out: dict[Member, int] = {}
+    for node in adjacency:
+        root = uf.find(node)
+        if root not in roots:
+            roots[root] = len(roots)
+        out[node] = roots[root]
+    return out

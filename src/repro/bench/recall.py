@@ -1,0 +1,23 @@
+"""Recall@k computation against exact ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k"]
+
+
+def recall_at_k(result_ids, truth_ids, k: int) -> float:
+    """Fraction of the exact top-k found, averaged over queries.
+
+    ``result_ids``: per-query id lists (ragged ok); ``truth_ids``: (q, >=k)
+    exact neighbour matrix.
+    """
+    truth_ids = np.asarray(truth_ids)
+    if len(result_ids) != truth_ids.shape[0]:
+        raise ValueError("result/truth query counts differ")
+    hits = 0
+    for qi, ids in enumerate(result_ids):
+        truth = set(int(t) for t in truth_ids[qi, :k])
+        hits += len(truth & set(int(i) for i in ids[:k]))
+    return hits / (len(result_ids) * k)

@@ -1,0 +1,94 @@
+"""wrk2-like closed-loop load generator (paper Sec. 6.3).
+
+The paper's sender machine keeps 320 connections over 16 threads busy with
+randomly selected query vectors, enough to saturate throughput.  The
+simulated equivalent: ``connections`` closed-loop clients, each issuing its
+next request the moment the previous one completes, for a simulated
+``duration``.  Per-request segment service times are drawn (round-robin)
+from a pool of measured samples so CPU-cache effects of identical payloads
+don't flatter the results — mirroring the paper's random-payload choice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ClusterError
+from .coordinator import ClusterSimulator
+
+__all__ = ["ClosedLoopLoadGenerator", "LoadResult"]
+
+
+@dataclass
+class LoadResult:
+    """Throughput/latency outcome of one simulated load run."""
+
+    qps: float
+    completed: int
+    duration_seconds: float
+    mean_latency_seconds: float
+    p50_latency_seconds: float
+    p99_latency_seconds: float
+    connections: int
+
+
+class ClosedLoopLoadGenerator:
+    """Drives a :class:`ClusterSimulator` with closed-loop connections."""
+
+    def __init__(
+        self,
+        simulator: ClusterSimulator,
+        connections: int = 320,
+    ):
+        if connections <= 0:
+            raise ClusterError("need at least one connection")
+        self.simulator = simulator
+        self.connections = connections
+
+    def run(
+        self,
+        sample_segment_seconds: list[dict[int, float]],
+        duration_seconds: float = 10.0,
+    ) -> LoadResult:
+        """Simulate ``duration_seconds`` of closed-loop load.
+
+        ``sample_segment_seconds`` is a pool of measured per-query samples
+        (segment -> seconds); requests cycle through it round-robin.
+        """
+        if not sample_segment_seconds:
+            raise ClusterError("need at least one measured sample")
+        self.simulator.reset()
+        samples = itertools.cycle(sample_segment_seconds)
+        # Event heap holds (completion_time, seq, issue_time).
+        events: list[tuple[float, int, float]] = []
+        seq = itertools.count()
+        for _ in range(self.connections):
+            issue = 0.0
+            done = self.simulator.simulate_request(issue, next(samples))
+            heapq.heappush(events, (done, next(seq), issue))
+        latencies: list[float] = []
+        completed = 0
+        now = 0.0
+        while events:
+            done, _, issued = heapq.heappop(events)
+            now = done
+            latencies.append(done - issued)
+            completed += 1
+            if done < duration_seconds:
+                next_done = self.simulator.simulate_request(done, next(samples))
+                heapq.heappush(events, (next_done, next(seq), done))
+        horizon = max(now, duration_seconds)
+        lat = np.asarray(latencies)
+        return LoadResult(
+            qps=completed / horizon,
+            completed=completed,
+            duration_seconds=horizon,
+            mean_latency_seconds=float(lat.mean()),
+            p50_latency_seconds=float(np.percentile(lat, 50)),
+            p99_latency_seconds=float(np.percentile(lat, 99)),
+            connections=self.connections,
+        )

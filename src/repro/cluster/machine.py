@@ -1,0 +1,56 @@
+"""Simulated machines and segment placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ClusterError
+
+__all__ = ["Machine", "make_cluster"]
+
+
+@dataclass
+class Machine:
+    """One server: a core count and the segments it hosts.
+
+    Defaults mirror the paper's ``n2d-standard-32`` (32 vCPUs).
+    ``alive=False`` models a failed server; the coordinator then routes its
+    segments to replica holders (paper Sec. 4.2: high availability via
+    embedding-segment replicas distributed across the cluster).
+    """
+
+    machine_id: int
+    cores: int = 32
+    segments: list[int] = field(default_factory=list)
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ClusterError("machine needs at least one core")
+
+
+def make_cluster(
+    num_machines: int,
+    num_segments: int,
+    cores: int = 32,
+    replication_factor: int = 1,
+) -> list[Machine]:
+    """Round-robin segment placement across machines (vertex-centric
+    partitioning distributes segments evenly, Sec. 3).
+
+    With ``replication_factor > 1`` each segment is additionally placed on
+    the next ``rf - 1`` machines, so any single-machine failure leaves every
+    segment reachable (as long as ``rf >= 2`` and there are >= rf machines).
+    """
+    if num_machines <= 0:
+        raise ClusterError("cluster needs at least one machine")
+    if replication_factor < 1:
+        raise ClusterError("replication factor must be >= 1")
+    if replication_factor > num_machines:
+        raise ClusterError("replication factor cannot exceed the machine count")
+    machines = [Machine(i, cores=cores) for i in range(num_machines)]
+    for seg_no in range(num_segments):
+        primary = seg_no % num_machines
+        for replica in range(replication_factor):
+            machines[(primary + replica) % num_machines].segments.append(seg_no)
+    return machines

@@ -1,0 +1,32 @@
+"""Network cost model for the cluster simulation.
+
+TigerVector's distributed design deliberately minimizes network traffic:
+queries ship only the query vector out and ``(id, distance)`` pairs back
+(Sec. 4.2).  The model therefore needs just a per-message latency and a
+bandwidth term; defaults approximate an intra-zone cloud network
+(~200 microseconds RTT contribution per hop, ~10 Gb/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass
+class NetworkModel:
+    latency_seconds: float = 0.0002
+    bandwidth_bytes_per_second: float = 1.25e9
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """One-way cost of shipping ``num_bytes`` between two machines."""
+        return self.latency_seconds + num_bytes / self.bandwidth_bytes_per_second
+
+    def query_dispatch_bytes(self, dim: int) -> int:
+        """Query vector (float32) + request framing."""
+        return 4 * dim + 128
+
+    def result_bytes(self, k: int) -> int:
+        """k (id, distance) pairs + response framing."""
+        return 12 * k + 64

@@ -1,0 +1,45 @@
+"""Behavioral simulators for the paper's competitor systems.
+
+Neo4j, Amazon Neptune, and Milvus are not installable offline, so each is
+modeled as a *behaviorally constrained* vector system running the same HNSW
+code as TigerVector, differing exactly where the paper says they differ:
+
+==============  ===============================================================
+System          Constraints encoded
+==============  ===============================================================
+Neo4j           Lucene-quality index (built without the diversity heuristic,
+                which caps recall in the 60-70% band regardless of ef — the
+                paper measures 64-67%); **no ef tuning** (one fixed operating
+                point); one monolithic, non-distributed index; **post-filter**
+                only; high per-query HTTP/JVM overhead; slow single-threaded
+                index build.
+Neptune         One fixed high-recall operating point (paper: 99.9%), no
+                tuning; single non-distributed index; non-atomic updates;
+                22.42x hardware cost.
+Milvus          Full-featured specialized vector DB: segmented, tunable ef,
+                pre-filter; lower multi-core efficiency (Go vs C++, the
+                paper's explanation for TigerVector's 1.07-1.61x edge) and a
+                much slower raw-vector data loading path (Table 2).
+==============  ===============================================================
+
+Search *compute* is always measured for real on the shared HNSW kernels;
+engine-level constants (per-query overhead, parallel efficiency, load/build
+factors) are declared once in :data:`repro.competitors.base.PROFILES` and
+documented against the paper numbers they reproduce.
+"""
+
+from .base import PROFILES, SystemProfile, VectorSystemSim
+from .milvus_sim import MilvusSim
+from .neo4j_sim import Neo4jSim
+from .neptune_sim import NeptuneSim
+from .tigervector import TigerVectorSystem
+
+__all__ = [
+    "MilvusSim",
+    "Neo4jSim",
+    "NeptuneSim",
+    "PROFILES",
+    "SystemProfile",
+    "TigerVectorSystem",
+    "VectorSystemSim",
+]

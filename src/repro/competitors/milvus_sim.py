@@ -1,0 +1,28 @@
+"""Milvus behavioral simulator.
+
+Milvus is the paper's strongest baseline: a specialized vector database with
+segmented HNSW, tunable ef, and pre-filtering. The paper still measures
+TigerVector 1.07-1.61x faster and attributes the gap to multi-core
+parallelism (MPP engine) and C++ vs Go; that shows up here as a lower
+client efficiency and slightly lower intra-query parallelism. Table 2's
+data-loading gap (Milvus parses raw vector files; 9.6-22.5x slower than
+TigerVector's loading tool) is the load_factor.
+"""
+
+from __future__ import annotations
+
+from .base import PROFILES, VectorSystemSim
+
+__all__ = ["MilvusSim"]
+
+
+class MilvusSim(VectorSystemSim):
+    """Segmented, tunable, pre-filtering specialized vector database."""
+
+    def __init__(self, segment_size: int = 20_000, M: int = 16, ef_construction: int = 128):
+        super().__init__(
+            PROFILES["Milvus"],
+            segment_size=segment_size,
+            M=M,
+            ef_construction=ef_construction,
+        )

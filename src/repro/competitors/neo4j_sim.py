@@ -1,0 +1,23 @@
+"""Neo4j behavioral simulator.
+
+Encodes the limitations the paper attributes to Neo4j's Lucene-based vector
+search (Sec. 2.3, 6.2): no index-parameter tuning (a single operating
+point), a Lucene-quality HNSW graph built *without* the diversity heuristic
+(which is what caps its recall in the 60-70% band on clustered data —
+matching the paper's 64.5-67.5%), one monolithic non-distributed index,
+post-filtering only, a slow single-threaded index build (5.4-7.4x in Table
+2), and a heavy HTTP/JVM request path.
+"""
+
+from __future__ import annotations
+
+from .base import PROFILES, VectorSystemSim
+
+__all__ = ["Neo4jSim"]
+
+
+class Neo4jSim(VectorSystemSim):
+    """Single Lucene-style index; fixed parameters; post-filter."""
+
+    def __init__(self, M: int = 16, ef_construction: int = 128):
+        super().__init__(PROFILES["Neo4j"], M=M, ef_construction=ef_construction)

@@ -1,0 +1,25 @@
+"""TigerVector as a benchmark subject.
+
+A thin wrapper giving TigerVector the same benchmarking surface as the
+competitor simulators.  It uses the same measured-compute + profile-model
+methodology so cross-system comparisons are apples-to-apples; correctness
+benchmarks elsewhere exercise the full engine (MVCC, bitmaps, GSQL).
+"""
+
+from __future__ import annotations
+
+from .base import PROFILES, VectorSystemSim
+
+__all__ = ["TigerVectorSystem"]
+
+
+class TigerVectorSystem(VectorSystemSim):
+    """Segmented, ef-tunable, pre-filtering, distributed (the full feature set)."""
+
+    def __init__(self, segment_size: int = 20_000, M: int = 16, ef_construction: int = 128):
+        super().__init__(
+            PROFILES["TigerVector"],
+            segment_size=segment_size,
+            M=M,
+            ef_construction=ef_construction,
+        )

@@ -1,0 +1,188 @@
+"""EmbeddingAction: segment-parallel vector search with global merge (Sec. 5.1).
+
+TigerVector executes a top-k query by searching each embedding segment's
+index independently (thread pool), then merging the local top-k lists into
+the global answer.  The plan notation from the paper::
+
+    EmbeddingAction[Top k, {s.content_emb}, query_vector]
+
+A per-segment pre-filter :class:`~repro.index.bitmap.Bitmap` may be supplied
+(from a WHERE predicate or a graph pattern); segments whose valid count falls
+below the store's threshold flip to brute force automatically inside
+:meth:`EmbeddingStore.search_segment`.
+
+The action reports which segments were touched and how many used brute
+force — the statistics behind the IC5-vs-IC11 discussion in Sec. 6.5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import VectorSearchError
+from ..graph.mpp import MPPExecutor
+from ..index.bitmap import Bitmap
+from ..index.interface import SearchResult
+from .service import EmbeddingStore
+
+__all__ = ["ActionStats", "EmbeddingAction"]
+
+_SHARED_EXECUTOR = MPPExecutor()
+
+
+@dataclass
+class ActionStats:
+    """Execution statistics for one EmbeddingAction invocation."""
+
+    segments_touched: int = 0
+    segments_bruteforce: int = 0
+    candidates: int = 0
+    elapsed_seconds: float = 0.0
+
+
+class EmbeddingAction:
+    """One vector-search operator instance over a single embedding store."""
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        executor: MPPExecutor | None = None,
+        parallel: bool = True,
+    ):
+        self.store = store
+        self.executor = executor or _SHARED_EXECUTOR
+        self.parallel = parallel
+        self.last_stats = ActionStats()
+
+    # ------------------------------------------------------------- helpers
+    def _segment_bitmaps(
+        self, bitmaps: list[Bitmap] | None, num_segments: int
+    ) -> list[Bitmap | None]:
+        if bitmaps is None:
+            return [None] * num_segments
+        if len(bitmaps) < num_segments:
+            bitmaps = list(bitmaps) + [
+                Bitmap.empty(self.store.segment_size)
+                for _ in range(num_segments - len(bitmaps))
+            ]
+        return list(bitmaps[:num_segments])
+
+    def _run_segments(self, fn, seg_nos: list[int]) -> list:
+        if not seg_nos:
+            return []
+        if not self.parallel or len(seg_nos) == 1:
+            return [fn(seg_no) for seg_no in seg_nos]
+        pool = self.executor._ensure_pool()
+        return [f.result() for f in [pool.submit(fn, s) for s in seg_nos]]
+
+    # --------------------------------------------------------------- top-k
+    def topk(
+        self,
+        query: np.ndarray,
+        k: int,
+        snapshot_tid: int,
+        ef: int | None = None,
+        bitmaps: list[Bitmap] | None = None,
+    ) -> SearchResult:
+        """Global top-k: local per-segment search + coordinator merge.
+
+        ``bitmaps`` is one pre-filter bitmap per segment (or ``None`` for a
+        pure search, which wraps the vertex status structure instead).
+        Returns global vids (= seg_no * segment_size + offset).
+        """
+        if k <= 0:
+            raise VectorSearchError("k must be positive")
+        store = self.store
+        num_segments = store.num_segments
+        per_segment = self._segment_bitmaps(bitmaps, num_segments)
+        stats = ActionStats()
+        start = time.perf_counter()
+
+        # Skip segments whose pre-filter is known-empty before dispatch.
+        seg_nos = [
+            seg_no
+            for seg_no in range(num_segments)
+            if per_segment[seg_no] is None or per_segment[seg_no].count() > 0
+        ]
+
+        def local(seg_no: int):
+            return store.search_segment(
+                seg_no, query, k, snapshot_tid, ef=ef, bitmap=per_segment[seg_no]
+            )
+
+        outputs = self._run_segments(local, seg_nos)
+        merged: list[tuple[float, int]] = []
+        for out in outputs:
+            stats.segments_touched += 1
+            stats.segments_bruteforce += int(out.used_bruteforce)
+            stats.candidates += len(out.offsets)
+            base = out.seg_no * store.segment_size
+            merged.extend(zip(out.distances, (base + o for o in out.offsets)))
+        merged.sort()
+        merged = merged[:k]
+        stats.elapsed_seconds = time.perf_counter() - start
+        self.last_stats = stats
+        if not merged:
+            return SearchResult.empty()
+        dists, vids = zip(*merged)
+        return SearchResult(np.asarray(vids), np.asarray(dists, dtype=np.float32))
+
+    # --------------------------------------------------------------- range
+    def range(
+        self,
+        query: np.ndarray,
+        threshold: float,
+        snapshot_tid: int,
+        ef: int | None = None,
+        bitmaps: list[Bitmap] | None = None,
+    ) -> SearchResult:
+        """Global range search: per-segment RangeSearch + merge (Sec. 5.1)."""
+        store = self.store
+        num_segments = store.num_segments
+        per_segment = self._segment_bitmaps(bitmaps, num_segments)
+        stats = ActionStats()
+        start = time.perf_counter()
+        seg_nos = [
+            seg_no
+            for seg_no in range(num_segments)
+            if per_segment[seg_no] is None or per_segment[seg_no].count() > 0
+        ]
+
+        def local(seg_no: int) -> list[tuple[float, int]]:
+            # Range search runs against the same MVCC view as topk by
+            # growing k until the DiskANN median condition triggers; reuse
+            # search_segment so the delta overlay stays consistent.
+            results: list[tuple[float, int]] = []
+            k = 16
+            cap = store.segment_size
+            while True:
+                out = store.search_segment(
+                    seg_no, query, k, snapshot_tid, ef=max(ef or 0, k),
+                    bitmap=per_segment[seg_no],
+                )
+                if not out.offsets:
+                    return results
+                base = seg_no * store.segment_size
+                pairs = list(zip(out.distances, (base + o for o in out.offsets)))
+                exhausted = len(pairs) < k or k >= cap
+                median = float(np.median(out.distances))
+                if threshold <= median or exhausted:
+                    return [(d, v) for d, v in pairs if d < threshold]
+                k = min(k * 2, cap)
+
+        outputs = self._run_segments(local, seg_nos)
+        merged: list[tuple[float, int]] = []
+        for out in outputs:
+            stats.segments_touched += 1
+            stats.candidates += len(out)
+            merged.extend(out)
+        merged.sort()
+        stats.elapsed_seconds = time.perf_counter() - start
+        self.last_stats = stats
+        if not merged:
+            return SearchResult.empty()
+        dists, vids = zip(*merged)
+        return SearchResult(np.asarray(vids), np.asarray(dists, dtype=np.float32))

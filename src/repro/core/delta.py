@@ -1,0 +1,166 @@
+"""MVCC vector deltas (paper Sec. 4.3).
+
+Committed vector updates accumulate as *vector deltas* in an in-memory delta
+store before the vacuum folds them into index snapshots.  The delta schema
+matches the paper exactly: **Action Flag** (Upsert/Delete), **ID**, **TID**,
+and **Vector Value**.
+
+Two consumers read deltas:
+
+- the *delta merge* vacuum process flushes them into immutable
+  :class:`DeltaFile` objects (optionally persisted to disk), and
+- query execution overlays unmerged deltas on top of index-snapshot results
+  (brute force over the delta vectors).
+"""
+
+from __future__ import annotations
+
+import bisect
+import pickle
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["DeltaFile", "DeltaRecord", "DeltaStore"]
+
+UPSERT = "upsert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One committed vector mutation: (action, id, tid, value)."""
+
+    action: str  # UPSERT or DELETE
+    vid: int  # global vertex id (segment = vid // segment_size)
+    tid: int
+    vector: np.ndarray | None  # None for deletes
+
+    def __post_init__(self) -> None:
+        if self.action not in (UPSERT, DELETE):
+            raise ReproError(f"invalid delta action '{self.action}'")
+        if self.action == UPSERT and self.vector is None:
+            raise ReproError("upsert delta requires a vector value")
+
+
+class DeltaFile:
+    """An immutable batch of deltas covering TIDs in ``(from_tid, to_tid]``.
+
+    The delta merge process produces these; the index merge process consumes
+    them.  ``path`` is set when the file has been spilled to disk.
+    """
+
+    def __init__(self, records: list[DeltaRecord], from_tid: int, to_tid: int):
+        self.records = list(records)
+        self.from_tid = from_tid
+        self.to_tid = to_tid
+        self.path: Path | None = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DeltaRecord]:
+        return iter(self.records)
+
+    def save(self, path) -> None:
+        """Spill to disk (one pickle per file, like the paper's delta files)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = [
+            (r.action, r.vid, r.tid, None if r.vector is None else np.asarray(r.vector))
+            for r in self.records
+        ]
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {"from_tid": self.from_tid, "to_tid": self.to_tid, "records": payload}, fh
+            )
+        self.path = path
+
+    @classmethod
+    def load(cls, path) -> "DeltaFile":
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        records = [
+            DeltaRecord(action, vid, tid, vector)
+            for action, vid, tid, vector in payload["records"]
+        ]
+        out = cls(records, payload["from_tid"], payload["to_tid"])
+        out.path = Path(path)
+        return out
+
+
+class DeltaStore:
+    """The in-memory delta store for one embedding attribute.
+
+    Thread-safe append; records are kept in TID order.  ``cut(up_to_tid)``
+    detaches a prefix into a :class:`DeltaFile` (the delta-merge step);
+    ``records_between`` serves query-time overlays.
+    """
+
+    def __init__(self):
+        self._records: list[DeltaRecord] = []
+        self._tids: list[int] = []
+        self._lock = threading.Lock()
+        self._flushed_tid = 0  # everything <= this has been cut to a file
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks are not picklable; recreate on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def append(self, records: Iterable[DeltaRecord]) -> None:
+        with self._lock:
+            for record in records:
+                if self._tids and record.tid < self._tids[-1]:
+                    raise ReproError("delta records must arrive in TID order")
+                self._records.append(record)
+                self._tids.append(record.tid)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def flushed_tid(self) -> int:
+        return self._flushed_tid
+
+    @property
+    def max_tid(self) -> int:
+        with self._lock:
+            return self._tids[-1] if self._tids else 0
+
+    def records_between(self, low_tid: int, high_tid: int) -> list[DeltaRecord]:
+        """Records with ``low_tid < tid <= high_tid`` (query-time overlay)."""
+        with self._lock:
+            start = bisect.bisect_right(self._tids, low_tid)
+            stop = bisect.bisect_right(self._tids, high_tid)
+            return self._records[start:stop]
+
+    def cut(self, up_to_tid: int) -> DeltaFile | None:
+        """Detach records with ``flushed_tid < tid <= up_to_tid`` into a file.
+
+        Returns ``None`` when there is nothing new to flush.  The cut prefix
+        is removed from the in-memory store; the paper notes this step is
+        fast (memory -> file) compared to the index merge.
+        """
+        with self._lock:
+            if up_to_tid <= self._flushed_tid:
+                return None
+            stop = bisect.bisect_right(self._tids, up_to_tid)
+            if stop == 0:
+                self._flushed_tid = up_to_tid
+                return None
+            records = self._records[:stop]
+            self._records = self._records[stop:]
+            self._tids = self._tids[stop:]
+            from_tid = self._flushed_tid
+            self._flushed_tid = up_to_tid
+            return DeltaFile(records, from_tid, up_to_tid)

@@ -1,0 +1,109 @@
+"""Distributed vector search (paper Sec. 5.1, Figure 5).
+
+Bridges the embedding store to the simulated cluster:
+
+- :meth:`DistributedSearcher.search` executes a real distributed query —
+  per-machine local top-k over that machine's segments, then a coordinator
+  merge — and returns both the merged result and the measured per-segment
+  service times.  Correctness is machine-count invariant (the merge of local
+  top-k lists equals the single-machine answer), which tests verify.
+- :meth:`DistributedSearcher.measure_samples` collects service-time samples
+  for the load generator, which is how Figures 9–10 are produced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.coordinator import ClusterSimulator
+from ..cluster.machine import Machine, make_cluster
+from ..cluster.network import NetworkModel
+from ..index.interface import SearchResult
+from .service import EmbeddingStore
+
+__all__ = ["DistributedSearchOutput", "DistributedSearcher"]
+
+
+@dataclass
+class DistributedSearchOutput:
+    result: SearchResult
+    segment_seconds: dict[int, float]
+    per_machine_seconds: dict[int, float]
+
+
+class DistributedSearcher:
+    """Executes segment searches placed across simulated machines."""
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        num_machines: int,
+        cores_per_machine: int = 32,
+        network: NetworkModel | None = None,
+    ):
+        self.store = store
+        self.machines: list[Machine] = make_cluster(
+            num_machines, store.num_segments, cores=cores_per_machine
+        )
+        self.network = network or NetworkModel()
+
+    def simulator(self, dim: int | None = None, k: int = 10) -> ClusterSimulator:
+        return ClusterSimulator(
+            self.machines,
+            self.network,
+            dim=dim or self.store.embedding.dimension,
+            k=k,
+        )
+
+    # ------------------------------------------------------------ execution
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        snapshot_tid: int,
+        ef: int | None = None,
+    ) -> DistributedSearchOutput:
+        """Real distributed top-k: local searches + coordinator merge."""
+        segment_seconds: dict[int, float] = {}
+        per_machine: dict[int, float] = {}
+        merged: list[tuple[float, int]] = []
+        for machine in self.machines:
+            machine_total = 0.0
+            for seg_no in machine.segments:
+                start = time.perf_counter()
+                out = self.store.search_segment(seg_no, query, k, snapshot_tid, ef=ef)
+                elapsed = time.perf_counter() - start
+                segment_seconds[seg_no] = elapsed
+                machine_total += elapsed
+                base = seg_no * self.store.segment_size
+                merged.extend(
+                    zip(out.distances, (base + o for o in out.offsets))
+                )
+            per_machine[machine.machine_id] = machine_total
+        merged.sort()
+        merged = merged[:k]
+        if merged:
+            dists, vids = zip(*merged)
+            result = SearchResult(np.asarray(vids), np.asarray(dists, dtype=np.float32))
+        else:
+            result = SearchResult.empty()
+        return DistributedSearchOutput(result, segment_seconds, per_machine)
+
+    def measure_samples(
+        self,
+        queries: np.ndarray,
+        k: int,
+        snapshot_tid: int,
+        ef: int | None = None,
+    ) -> tuple[list[dict[int, float]], list[SearchResult]]:
+        """Measured per-query segment service times (load-generator input)."""
+        samples: list[dict[int, float]] = []
+        results: list[SearchResult] = []
+        for query in np.asarray(queries, dtype=np.float32):
+            output = self.search(query, k, snapshot_tid, ef=ef)
+            samples.append(output.segment_seconds)
+            results.append(output.result)
+        return samples, results

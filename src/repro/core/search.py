@@ -1,0 +1,111 @@
+"""The flexible VectorSearch() function (paper Sec. 5.5).
+
+``VectorSearch(vector_attributes, query_vector, k, opts)`` is TigerVector's
+composable search API:
+
+- **VectorAttributes** — one or more compatible embedding attributes, possibly
+  across vertex types (compatibility is checked by the Sec. 4.1 static
+  analysis before any segment is touched);
+- **QueryVector** — validated against the attributes' dimensionality;
+- **K** — result size;
+- optional **filter** — a :class:`~repro.graph.vertex_set.VertexSet`
+  candidate set from a prior query block (pre-filtering);
+- optional **distance map** — an output Map accumulator receiving
+  ``(vertex, distance)`` pairs;
+- optional **ef** — index search parameter trading accuracy for speed.
+
+It returns a :class:`VertexSet`, so the result plugs straight back into GSQL
+query composition (queries Q2–Q4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, VectorSearchError
+from ..graph.accumulators import MapAccum
+from ..graph.txn import Snapshot
+from ..graph.vertex_set import VertexSet
+from ..index.bitmap import Bitmap
+from .action import EmbeddingAction
+from .embedding import check_compatible
+from .service import EmbeddingService
+
+__all__ = ["VectorSearchOptions", "vector_search"]
+
+
+@dataclass
+class VectorSearchOptions:
+    """Optional VectorSearch parameters (Sec. 5.5 list item 4)."""
+
+    filter: VertexSet | None = None
+    distance_map: MapAccum | None = None
+    ef: int | None = None
+
+
+def vector_search(
+    service: EmbeddingService,
+    snapshot: Snapshot,
+    vector_attributes: list[str],
+    query_vector: np.ndarray,
+    k: int,
+    options: VectorSearchOptions | None = None,
+) -> VertexSet:
+    """Top-k across one or more embedding attributes; returns a VertexSet.
+
+    ``vector_attributes`` entries are ``"VertexType.attr"`` strings.  With a
+    ``filter`` vertex set the search pre-filters per segment via bitmaps;
+    otherwise each segment wraps its status structure.  Results from
+    different attributes are merged by distance into a single global top-k,
+    which is well-defined because the compatibility check guarantees a
+    shared metric and dimension.
+    """
+    if k <= 0:
+        raise VectorSearchError("k must be positive")
+    options = options or VectorSearchOptions()
+    schema = service.schema
+    resolved = []
+    for qualified in vector_attributes:
+        vertex_type, embedding = schema.embedding_attribute(qualified)
+        resolved.append((qualified, vertex_type, embedding))
+    representative = check_compatible(
+        [(qualified, emb) for qualified, _, emb in resolved]
+    )
+    query = np.asarray(query_vector, dtype=np.float32).reshape(-1)
+    if query.shape[0] != representative.dimension:
+        raise DimensionMismatchError(
+            f"query vector has dimension {query.shape[0]}, embedding expects "
+            f"{representative.dimension}"
+        )
+
+    merged: list[tuple[float, str, int]] = []
+    for qualified, vertex_type, _ in resolved:
+        store = service.store(vertex_type, qualified.split(".", 1)[1])
+        bitmaps = None
+        if options.filter is not None:
+            vids = options.filter.vids_of_type(vertex_type)
+            if not vids:
+                continue
+            bitmaps = [
+                Bitmap.wrap(mask) for mask in snapshot.bitmap_from_vids(vertex_type, vids)
+            ]
+            while len(bitmaps) < store.num_segments:
+                bitmaps.append(Bitmap.empty(store.segment_size))
+        action = EmbeddingAction(store)
+        result = action.topk(
+            query, k, snapshot_tid=snapshot.tid, ef=options.ef, bitmaps=bitmaps
+        )
+        merged.extend(
+            (float(dist), vertex_type, int(vid)) for vid, dist in result
+        )
+
+    merged.sort(key=lambda item: item[0])
+    top = merged[:k]
+    out = VertexSet(name="TopK")
+    for dist, vertex_type, vid in top:
+        out.add(vertex_type, vid)
+        if options.distance_map is not None:
+            options.distance_map.put((vertex_type, vid), dist)
+    return out

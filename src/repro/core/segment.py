@@ -1,0 +1,227 @@
+"""Embedding segments: decoupled vector storage (paper Sec. 4.2).
+
+Vectors belonging to one vertex segment are stored together in an
+*embedding segment*, separate from the vertex segment's other attributes,
+keeping the same local ids (offsets).  Each embedding segment owns its own
+vector index, capping index size at the vertex-segment capacity and making
+the segment the unit of parallel search, distribution, update, and recovery.
+
+An :class:`EmbeddingSegment` holds two MVCC-versioned pieces:
+
+- the raw vector array (``vectors`` + ``present`` mask) — the on-disk
+  embedding segment in the paper; used for brute-force scans, similarity
+  joins, and GetEmbedding;
+- the index *snapshot* — an HNSW graph valid as of ``snapshot_tid``.
+
+Both advance together when the index-merge vacuum installs a new snapshot
+(:meth:`install_snapshot`).  Reads older than the current snapshot are served
+by retained previous snapshots (``retired`` list) until the vacuum confirms
+no live transaction needs them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError, VectorSearchError
+from ..index.interface import VectorIndex, create_index
+from .delta import DELETE, UPSERT, DeltaRecord
+from .embedding import EmbeddingType
+
+__all__ = ["EmbeddingSegment", "SegmentSnapshot"]
+
+
+@dataclass
+class SegmentSnapshot:
+    """One immutable (index, raw-vectors) pair valid as of ``tid``."""
+
+    tid: int
+    index: VectorIndex
+    vectors: np.ndarray  # (capacity, dim), rows valid where present
+    present: np.ndarray  # (capacity,) bool
+
+
+class EmbeddingSegment:
+    """One embedding attribute's vectors for one vertex segment."""
+
+    def __init__(self, embedding: EmbeddingType, seg_no: int, capacity: int):
+        self.embedding = embedding
+        self.seg_no = seg_no
+        self.capacity = capacity
+        index = create_index(
+            embedding.index, embedding.dimension, embedding.metric, dict(embedding.index_params)
+        )
+        self._current = SegmentSnapshot(
+            tid=0,
+            index=index,
+            vectors=np.zeros((capacity, embedding.dimension), dtype=np.float32),
+            present=np.zeros(capacity, dtype=bool),
+        )
+        self._retired: list[SegmentSnapshot] = []
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks are not picklable; recreate on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------- snapshots
+    @property
+    def snapshot_tid(self) -> int:
+        return self._current.tid
+
+    def snapshot_for(self, snapshot_tid: int) -> SegmentSnapshot:
+        """Newest snapshot with ``tid <= snapshot_tid``.
+
+        Deltas newer than the returned snapshot must be overlaid by the
+        caller (see :meth:`EmbeddingStore.search_segment`).
+        """
+        with self._lock:
+            if self._current.tid <= snapshot_tid:
+                return self._current
+            best = None
+            for snap in self._retired:
+                if snap.tid <= snapshot_tid and (best is None or snap.tid > best.tid):
+                    best = snap
+            if best is None:
+                # All retained snapshots are newer than the reader: the
+                # reader predates this segment's first vector, so an empty
+                # view is correct.
+                oldest = min(self._retired, key=lambda s: s.tid, default=self._current)
+                if snapshot_tid < oldest.tid:
+                    return _empty_like(self, 0)
+                best = oldest
+            return best
+
+    def install_snapshot(self, snapshot: SegmentSnapshot) -> None:
+        """Atomically switch to a newer snapshot, retiring the current one."""
+        with self._lock:
+            if snapshot.tid < self._current.tid:
+                raise ReproError("cannot install an older snapshot")
+            self._retired.append(self._current)
+            self._current = snapshot
+
+    def gc_snapshots(self, min_active_snapshot_tid: int) -> int:
+        """Drop retired snapshots no live transaction can still read.
+
+        Mirrors the paper: *"The old index snapshot and delta files are
+        deleted only after the new index snapshot is visible to all running
+        transactions."*
+        """
+        with self._lock:
+            survivors = []
+            dropped = 0
+            for snap in self._retired:
+                # A retired snapshot is needed only if some reader's TID is
+                # older than the snapshot that superseded it.  Conservative
+                # rule: keep while min reader < current snapshot tid.
+                if min_active_snapshot_tid < self._current.tid and snap.tid <= min_active_snapshot_tid:
+                    survivors.append(snap)
+                elif min_active_snapshot_tid < snap.tid:
+                    survivors.append(snap)
+                else:
+                    dropped += 1
+            self._retired = survivors
+            return dropped
+
+    # ------------------------------------------------------- direct access
+    @property
+    def index(self) -> VectorIndex:
+        return self._current.index
+
+    @property
+    def vectors(self) -> np.ndarray:
+        return self._current.vectors
+
+    @property
+    def present(self) -> np.ndarray:
+        return self._current.present
+
+    def live_count(self) -> int:
+        return int(np.count_nonzero(self._current.present))
+
+    def get_vector(self, offset: int, snapshot_tid: int | None = None) -> np.ndarray | None:
+        snap = self._current if snapshot_tid is None else self.snapshot_for(snapshot_tid)
+        if 0 <= offset < self.capacity and snap.present[offset]:
+            return snap.vectors[offset].copy()
+        return None
+
+    # ---------------------------------------------------------- bulk build
+    def bulk_load(self, offsets: np.ndarray, vectors: np.ndarray, tid: int, num_threads: int = 1) -> None:
+        """Initial-load fast path: build the snapshot directly, no deltas.
+
+        This is the optimized loading-tool path the paper credits for
+        TigerVector's short data-load times (Table 2).
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if offsets.size != vectors.shape[0]:
+            raise VectorSearchError("offsets and vectors length mismatch")
+        if np.any((offsets < 0) | (offsets >= self.capacity)):
+            raise VectorSearchError("offset outside segment capacity")
+        snap = self._current
+        snap.vectors[offsets] = vectors
+        snap.present[offsets] = True
+        snap.index.update_items(offsets.tolist(), vectors, num_threads=num_threads)
+        snap.tid = max(snap.tid, tid)
+
+    # ----------------------------------------------------- snapshot builds
+    def build_next_snapshot(
+        self,
+        records: list[DeltaRecord],
+        new_tid: int,
+        segment_size: int,
+        num_threads: int = 1,
+    ) -> SegmentSnapshot:
+        """Apply delta records for this segment to a copy of the snapshot.
+
+        This is the index-merge step: the current snapshot is cloned, the
+        deltas are folded in with ``update_items`` / ``delete_items``, and
+        the result is returned for :meth:`install_snapshot` to switch to.
+        """
+        current = self._current
+        vectors = current.vectors.copy()
+        present = current.present.copy()
+        index = _clone_index(current.index)
+        upserts: dict[int, np.ndarray] = {}
+        deletes: list[int] = []
+        for record in records:
+            offset = record.vid % segment_size
+            if record.action == UPSERT:
+                upserts[offset] = record.vector
+                vectors[offset] = record.vector
+                present[offset] = True
+            elif record.action == DELETE:
+                upserts.pop(offset, None)
+                present[offset] = False
+                deletes.append(offset)
+        if upserts:
+            offs = list(upserts)
+            index.update_items(offs, np.stack([upserts[o] for o in offs]), num_threads=num_threads)
+        if deletes:
+            index.delete_items(deletes)
+        return SegmentSnapshot(tid=new_tid, index=index, vectors=vectors, present=present)
+
+
+def _clone_index(index: VectorIndex) -> VectorIndex:
+    """Deep-copy a vector index (pickle round-trip keeps it simple and safe)."""
+    import pickle
+
+    return pickle.loads(pickle.dumps(index))
+
+
+def _empty_like(segment: EmbeddingSegment, tid: int) -> SegmentSnapshot:
+    emb = segment.embedding
+    return SegmentSnapshot(
+        tid=tid,
+        index=create_index(emb.index, emb.dimension, emb.metric, dict(emb.index_params)),
+        vectors=np.zeros((segment.capacity, emb.dimension), dtype=np.float32),
+        present=np.zeros(segment.capacity, dtype=bool),
+    )

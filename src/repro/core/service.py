@@ -1,0 +1,319 @@
+"""The embedding service module (paper Sec. 4.2–4.3).
+
+TigerVector manages vector storage separately from the graph through an
+*embedding service*.  :class:`EmbeddingStore` owns everything for one
+``(vertex_type, embedding_attribute)`` pair — embedding segments, the
+in-memory delta store, flushed delta files — and serves snapshot-consistent
+per-segment searches that combine the index snapshot with a brute-force
+overlay of unmerged deltas.  :class:`EmbeddingService` is the registry of
+stores and the commit hook installed into the :class:`~repro.graph.storage.
+GraphStore`, which is what makes mixed graph/vector transactions atomic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import UnknownTypeError, VectorSearchError
+from ..graph.schema import GraphSchema
+from ..index.bitmap import Bitmap
+from ..types import Metric, batch_distances
+from .delta import DELETE, UPSERT, DeltaFile, DeltaRecord, DeltaStore
+from .embedding import EmbeddingType
+from .segment import EmbeddingSegment
+
+__all__ = ["EmbeddingService", "EmbeddingStore", "SegmentSearchOutput"]
+
+
+class SegmentSearchOutput:
+    """Local top-k from one segment: parallel (offset, distance) lists."""
+
+    __slots__ = ("seg_no", "offsets", "distances", "used_bruteforce")
+
+    def __init__(self, seg_no: int, offsets: list[int], distances: list[float], used_bruteforce: bool):
+        self.seg_no = seg_no
+        self.offsets = offsets
+        self.distances = distances
+        self.used_bruteforce = used_bruteforce
+
+
+class EmbeddingStore:
+    """All embedding segments plus delta machinery for one vector attribute."""
+
+    def __init__(
+        self,
+        vertex_type: str,
+        embedding: EmbeddingType,
+        segment_size: int,
+        bf_threshold: int | None = None,
+    ):
+        self.vertex_type = vertex_type
+        self.embedding = embedding
+        self.segment_size = segment_size
+        #: Below this many valid points a segment search flips to brute force
+        #: (Sec. 5.1's first optimization).
+        self.bf_threshold = bf_threshold if bf_threshold is not None else max(64, segment_size // 16)
+        self.delta_store = DeltaStore()
+        self.delta_files: list[DeltaFile] = []
+        #: Delta files already folded into index snapshots but still needed
+        #: by readers older than that merge; each entry is
+        #: ``(release_tid, file)`` — droppable once every live snapshot's
+        #: TID reaches ``release_tid`` (paper Sec. 4.3: old snapshots and
+        #: delta files are deleted only after the new snapshot is visible to
+        #: all running transactions).
+        self.retired_delta_files: list[tuple[int, DeltaFile]] = []
+        self._segments: list[EmbeddingSegment] = []
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks are not picklable; recreate on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ segments
+    def segment(self, seg_no: int) -> EmbeddingSegment:
+        with self._lock:
+            while len(self._segments) <= seg_no:
+                self._segments.append(
+                    EmbeddingSegment(self.embedding, len(self._segments), self.segment_size)
+                )
+            return self._segments[seg_no]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def segments(self) -> list[EmbeddingSegment]:
+        with self._lock:
+            return list(self._segments)
+
+    def _ensure_segments_for(self, vids: Iterable[int]) -> None:
+        max_vid = max(vids, default=-1)
+        if max_vid >= 0:
+            self.segment(max_vid // self.segment_size)
+
+    # -------------------------------------------------------------- deltas
+    def append_deltas(self, records: list[DeltaRecord]) -> None:
+        self._ensure_segments_for(r.vid for r in records)
+        self.delta_store.append(records)
+
+    def overlay_records(self, seg_no: int, low_tid: int, high_tid: int) -> list[DeltaRecord]:
+        """Deltas for one segment with ``low_tid < tid <= high_tid``.
+
+        Spans both flushed delta files and the in-memory store, in TID order,
+        so queries see every committed-but-unmerged update.
+        """
+        lo = seg_no * self.segment_size
+        hi = lo + self.segment_size
+        out: list[DeltaRecord] = []
+        files = [f for _, f in self.retired_delta_files] + self.delta_files
+        for dfile in files:
+            if dfile.to_tid <= low_tid or dfile.from_tid >= high_tid:
+                continue
+            out.extend(
+                r for r in dfile.records if low_tid < r.tid <= high_tid and lo <= r.vid < hi
+            )
+        out.extend(
+            r
+            for r in self.delta_store.records_between(low_tid, high_tid)
+            if lo <= r.vid < hi
+        )
+        return out
+
+    def pending_delta_count(self) -> int:
+        return len(self.delta_store) + sum(len(f) for f in self.delta_files)
+
+    # ------------------------------------------------------------ loading
+    def bulk_load(self, vids: np.ndarray, vectors: np.ndarray, tid: int, num_threads: int = 1) -> None:
+        """Partition a bulk batch by segment and build each directly."""
+        vids = np.asarray(vids, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vids.size != vectors.shape[0]:
+            raise VectorSearchError("vids and vectors length mismatch")
+        seg_nos = vids // self.segment_size
+        for seg_no in np.unique(seg_nos):
+            mask = seg_nos == seg_no
+            self.segment(int(seg_no)).bulk_load(
+                vids[mask] % self.segment_size, vectors[mask], tid, num_threads=num_threads
+            )
+
+    # -------------------------------------------------------------- reads
+    def get_embedding(self, vid: int, snapshot_tid: int | None = None) -> np.ndarray | None:
+        """GetEmbedding with MVCC overlay: deltas beat the index snapshot."""
+        seg_no, offset = divmod(vid, self.segment_size)
+        if seg_no >= self.num_segments:
+            return None
+        segment = self.segment(seg_no)
+        if snapshot_tid is None:
+            # "Latest committed" must cover the index snapshot, flushed-but-
+            # unmerged delta files, AND the in-memory store.
+            snapshot_tid = max(
+                segment.snapshot_tid,
+                self.delta_store.flushed_tid,
+                self.delta_store.max_tid,
+            )
+        snap = segment.snapshot_for(snapshot_tid)
+        last = None
+        for record in self.overlay_records(seg_no, snap.tid, snapshot_tid):
+            if record.vid == vid:
+                last = record
+        if last is not None:
+            return None if last.action == DELETE else np.array(last.vector, dtype=np.float32)
+        return segment.get_vector(offset, snapshot_tid)
+
+    def live_count(self) -> int:
+        return sum(seg.live_count() for seg in self.segments())
+
+    # ------------------------------------------------------------- search
+    def search_segment(
+        self,
+        seg_no: int,
+        query: np.ndarray,
+        k: int,
+        snapshot_tid: int,
+        ef: int | None = None,
+        bitmap: Bitmap | None = None,
+        bf_threshold: int | None = None,
+    ) -> SegmentSearchOutput:
+        """Top-k on one segment: index snapshot + delta overlay, filtered.
+
+        ``bitmap`` is the pre-filter validity mask over local offsets (None
+        means "wrap the vertex status structure", i.e. everything present).
+        """
+        segment = self.segment(seg_no)
+        snap = segment.snapshot_for(snapshot_tid)
+        overlay = self.overlay_records(seg_no, snap.tid, snapshot_tid)
+        # Last-writer-wins per offset within the overlay window.
+        overlay_last: dict[int, DeltaRecord] = {}
+        for record in overlay:
+            overlay_last[record.vid % self.segment_size] = record
+
+        threshold = self.bf_threshold if bf_threshold is None else bf_threshold
+        metric = self.embedding.metric
+
+        # Status mask: present in snapshot, not superseded by a delta.
+        if bitmap is None:
+            allowed = snap.present  # wrap, don't copy (Sec. 5.1 reuse)
+        else:
+            allowed = bitmap.mask & snap.present
+        if overlay_last:
+            allowed = allowed.copy() if allowed is snap.present else allowed
+            for offset in overlay_last:
+                allowed[offset] = False
+        valid_count = int(np.count_nonzero(allowed))
+
+        results: list[tuple[float, int]] = []
+        used_bruteforce = False
+        if valid_count > 0:
+            if valid_count < threshold:
+                used_bruteforce = True
+                offsets = np.flatnonzero(allowed)
+                dists = batch_distances(query, snap.vectors[offsets], metric)
+                top = min(k, offsets.size)
+                part = np.argpartition(dists, top - 1)[:top]
+                for i in part:
+                    results.append((float(dists[i]), int(offsets[i])))
+            else:
+                mask = allowed
+
+                def filter_fn(offset: int) -> bool:
+                    return bool(mask[offset])
+
+                found = snap.index.topk_search(query, k, ef=ef, filter_fn=filter_fn)
+                results.extend((float(d), int(o)) for o, d in found)
+
+        # Brute force over overlay upserts (still subject to the pre-filter).
+        fresh_offsets = [
+            off
+            for off, record in overlay_last.items()
+            if record.action == UPSERT and (bitmap is None or bitmap.is_valid(off))
+        ]
+        if fresh_offsets:
+            fresh_vectors = np.stack(
+                [overlay_last[off].vector for off in fresh_offsets]
+            ).astype(np.float32)
+            dists = batch_distances(query, fresh_vectors, metric)
+            results.extend((float(d), int(o)) for d, o in zip(dists, fresh_offsets))
+
+        results.sort()
+        results = results[:k]
+        return SegmentSearchOutput(
+            seg_no,
+            offsets=[o for _, o in results],
+            distances=[d for d, _ in results],
+            used_bruteforce=used_bruteforce,
+        )
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        segs = self.segments()
+        return {
+            "vertex_type": self.vertex_type,
+            "attribute": self.embedding.name,
+            "segments": len(segs),
+            "live_vectors": sum(s.live_count() for s in segs),
+            "pending_deltas": self.pending_delta_count(),
+            "index": [s.index.stats.snapshot() for s in segs],
+        }
+
+
+class EmbeddingService:
+    """Registry of embedding stores + the commit hook wiring."""
+
+    def __init__(self, schema: GraphSchema, segment_size: int, bf_threshold: int | None = None):
+        self.schema = schema
+        self.segment_size = segment_size
+        self.bf_threshold = bf_threshold
+        self._stores: dict[tuple[str, str], EmbeddingStore] = {}
+        self._lock = threading.Lock()
+
+    def store(self, vertex_type: str, attr: str) -> EmbeddingStore:
+        key = (vertex_type, attr)
+        existing = self._stores.get(key)
+        if existing is not None:
+            return existing
+        with self._lock:
+            existing = self._stores.get(key)
+            if existing is not None:
+                return existing
+            embedding = self.schema.vertex_type(vertex_type).embedding(attr)
+            store = EmbeddingStore(
+                vertex_type, embedding, self.segment_size, bf_threshold=self.bf_threshold
+            )
+            self._stores[key] = store
+            return store
+
+    def stores(self) -> Iterator[EmbeddingStore]:
+        return iter(list(self._stores.values()))
+
+    # ------------------------------------------------------------ the hook
+    def on_commit(self, tid: int, embedding_ops: list[tuple]) -> None:
+        """GraphStore commit hook: turn embedding ops into delta records.
+
+        Runs inside the commit critical section with the transaction's TID,
+        which is exactly how TigerVector makes graph+vector updates atomic.
+        """
+        grouped: dict[tuple[str, str], list[DeltaRecord]] = {}
+        for action, vertex_type, vid, attr, vector in embedding_ops:
+            if action == "delete" and (vertex_type, attr) not in self._stores:
+                # Cascade deletes for attributes never populated: skip quietly.
+                try:
+                    self.schema.vertex_type(vertex_type).embedding(attr)
+                except UnknownTypeError:
+                    continue
+            record = DeltaRecord(
+                action=UPSERT if action == "upsert" else DELETE,
+                vid=vid,
+                tid=tid,
+                vector=None if vector is None else np.asarray(vector, dtype=np.float32),
+            )
+            grouped.setdefault((vertex_type, attr), []).append(record)
+        for (vertex_type, attr), records in grouped.items():
+            self.store(vertex_type, attr).append_deltas(records)

@@ -1,0 +1,35 @@
+"""Synthetic datasets standing in for the paper's corpora.
+
+SIFT100M/SIFT1B and Deep100M/Deep1B are multi-GB downloads unavailable
+offline; :mod:`vectors` generates seeded clustered datasets with the same
+dimensionalities and value distributions (scaled down; the 10x size ratios
+used by the scalability study are preserved).  :mod:`ldbc` generates an
+LDBC-SNB-like social network (the paper augments SNB with embeddings for
+the hybrid-search study), and :mod:`workloads` defines the IC-style hybrid
+query analogs of Sec. 6.5.
+"""
+
+from .ldbc import LDBCConfig, LDBCDataset, generate_ldbc, load_ldbc_into
+from .vectors import (
+    VectorDataset,
+    ground_truth,
+    make_deep_like,
+    make_queries,
+    make_sift_like,
+)
+from .workloads import IC_QUERIES, ICQuerySpec, build_ic_query
+
+__all__ = [
+    "IC_QUERIES",
+    "ICQuerySpec",
+    "LDBCConfig",
+    "LDBCDataset",
+    "VectorDataset",
+    "build_ic_query",
+    "generate_ldbc",
+    "ground_truth",
+    "load_ldbc_into",
+    "make_deep_like",
+    "make_queries",
+    "make_sift_like",
+]

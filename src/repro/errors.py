@@ -1,0 +1,78 @@
+"""Exception hierarchy for the TigerVector reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch a single base class.  The hierarchy mirrors the subsystems: schema
+and catalog errors, GSQL compilation errors (lexing, parsing, semantic
+analysis), transaction errors, and vector-search errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or catalog operation (e.g. duplicate type)."""
+
+
+class UnknownTypeError(SchemaError):
+    """A vertex/edge/attribute type referenced in a query does not exist."""
+
+
+class EmbeddingCompatibilityError(SchemaError):
+    """Embedding attributes mixed in one search are not compatible.
+
+    Raised by the static analysis described in Sec. 4.1 of the paper: all
+    metadata except the index type must match, otherwise the query is
+    rejected with a semantic error.
+    """
+
+
+class GSQLError(ReproError):
+    """Base class for GSQL compilation errors."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class GSQLLexError(GSQLError):
+    """Unrecognized character or malformed token in GSQL source."""
+
+
+class GSQLParseError(GSQLError):
+    """GSQL source does not match the grammar."""
+
+
+class GSQLSemanticError(GSQLError):
+    """GSQL source is grammatical but semantically invalid."""
+
+
+class TransactionError(ReproError):
+    """Transaction lifecycle violation (e.g. write after commit)."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back and its effects discarded."""
+
+
+class VectorSearchError(ReproError):
+    """Invalid vector-search request (bad k, dimension mismatch, ...)."""
+
+
+class DimensionMismatchError(VectorSearchError):
+    """Query vector dimensionality does not match the embedding attribute."""
+
+
+class LoadingError(ReproError):
+    """Data loading job failure (bad file, malformed row, ...)."""
+
+
+class ClusterError(ReproError):
+    """Simulated-cluster configuration or routing failure."""

@@ -1,0 +1,48 @@
+"""Graph engine substrate: schema, segmented storage, MVCC, MPP primitives.
+
+This package reimplements the parts of TigerGraph that TigerVector builds on
+(paper Sec. 2.1): the property-graph schema, fixed-size vertex segments with
+vertex-centric partitioning, MVCC transactions with a background vacuum,
+write-ahead logging, VertexAction/EdgeAction parallel primitives, graph
+pattern matching, and GSQL-style accumulators.
+"""
+
+from .accumulators import (
+    AndAccum,
+    AvgAccum,
+    BitwiseAndAccum,
+    BitwiseOrAccum,
+    HeapAccum,
+    ListAccum,
+    MapAccum,
+    MaxAccum,
+    MinAccum,
+    OrAccum,
+    SetAccum,
+    SumAccum,
+)
+from .schema import Attribute, EdgeType, GraphSchema, VertexType
+from .storage import GraphStore
+from .txn import Snapshot, Transaction
+
+__all__ = [
+    "AndAccum",
+    "Attribute",
+    "AvgAccum",
+    "BitwiseAndAccum",
+    "BitwiseOrAccum",
+    "EdgeType",
+    "GraphSchema",
+    "GraphStore",
+    "HeapAccum",
+    "ListAccum",
+    "MapAccum",
+    "MaxAccum",
+    "MinAccum",
+    "OrAccum",
+    "SetAccum",
+    "Snapshot",
+    "SumAccum",
+    "Transaction",
+    "VertexType",
+]

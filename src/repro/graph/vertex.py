@@ -1,0 +1,40 @@
+"""User-facing vertex handles.
+
+Internally the engine works with ``(vertex_type, vid)`` pairs; query results
+surface a :class:`Vertex` that additionally carries the primary key, which is
+what users recognize.  Equality and hashing use only ``(vertex_type, vid)``
+so handles interoperate with raw pairs in sets and maps.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Vertex"]
+
+
+class Vertex:
+    """A resolved vertex reference: type, internal vid, and primary key."""
+
+    __slots__ = ("vertex_type", "vid", "pk")
+
+    def __init__(self, vertex_type: str, vid: int, pk: Any = None):
+        self.vertex_type = vertex_type
+        self.vid = vid
+        self.pk = pk
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Vertex):
+            return (self.vertex_type, self.vid) == (other.vertex_type, other.vid)
+        if isinstance(other, tuple) and len(other) == 2:
+            return (self.vertex_type, self.vid) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.vertex_type, self.vid))
+
+    def __repr__(self) -> str:
+        return f"{self.vertex_type}({self.pk if self.pk is not None else self.vid})"
+
+    def as_pair(self) -> tuple[str, int]:
+        return (self.vertex_type, self.vid)

@@ -1,0 +1,374 @@
+"""GSQL abstract syntax tree.
+
+Plain dataclasses; the parser builds these, the semantic analyzer annotates /
+validates them, the planner lowers query blocks to physical plans, and the
+executor interprets statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "AccumDecl",
+    "AccumStmt",
+    "AddEmbeddingAttr",
+    "AssignStmt",
+    "BinaryOp",
+    "AttrRef",
+    "AccumRef",
+    "CreateEdge",
+    "CreateEmbeddingSpace",
+    "CreateLoadingJob",
+    "CreateQuery",
+    "CreateVertex",
+    "EdgePatternAST",
+    "Expr",
+    "ForeachStmt",
+    "FuncCall",
+    "IfStmt",
+    "ListLiteral",
+    "Literal",
+    "LoadClause",
+    "MapLiteral",
+    "NodePatternAST",
+    "OptionEntry",
+    "OrderBy",
+    "ParamDecl",
+    "PathPatternAST",
+    "PrintStmt",
+    "QualifiedName",
+    "RunLoadingJob",
+    "SelectBlock",
+    "SetOpExpr",
+    "Statement",
+    "UnaryOp",
+    "VarRef",
+    "VectorAttrSet",
+    "WhileStmt",
+]
+
+
+# --------------------------------------------------------------- expressions
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: Any
+
+
+@dataclass
+class VarRef(Expr):
+    """A bare identifier: query parameter, vertex-set variable, or alias."""
+
+    name: str
+
+
+@dataclass
+class AttrRef(Expr):
+    """``alias.attr`` (vertex attribute access)."""
+
+    alias: str
+    attr: str
+
+
+@dataclass
+class AccumRef(Expr):
+    """``@@name`` (global) or ``alias.@name`` (vertex-local)."""
+
+    name: str
+    is_global: bool
+    alias: str | None = None  # for vertex-local refs
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class ListLiteral(Expr):
+    items: list[Expr]
+
+
+@dataclass
+class TupleLiteral(Expr):
+    """``(a, b)`` — used for HeapAccum / MapAccum (key, value) pairs."""
+
+    items: list[Expr]
+
+
+@dataclass
+class QualifiedName(Expr):
+    """``VertexType.attr`` inside a ``{...}`` vector-attribute set."""
+
+    type_name: str
+    attr: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.type_name}.{self.attr}"
+
+
+@dataclass
+class VectorAttrSet(Expr):
+    """``{Post.content_emb, Comment.content_emb}``."""
+
+    attrs: list[QualifiedName]
+
+
+@dataclass
+class OptionEntry:
+    key: str
+    value: Expr
+
+
+@dataclass
+class MapLiteral(Expr):
+    """``{filter: USComments, ef: 200, distanceMap: @@disMap}``."""
+
+    entries: list[OptionEntry]
+
+
+@dataclass
+class SetOpExpr(Expr):
+    """Vertex-set algebra: ``A UNION B`` / ``A INTERSECT B`` / ``A MINUS B``."""
+
+    op: str  # UNION | INTERSECT | MINUS
+    left: Expr
+    right: Expr
+
+
+# ------------------------------------------------------------------ patterns
+@dataclass
+class NodePatternAST:
+    alias: str | None
+    label: str | None
+
+
+@dataclass
+class EdgePatternAST:
+    edge_type: str | None
+    direction: str  # "out", "in", "any"
+    repeat: int = 1
+
+
+@dataclass
+class PathPatternAST:
+    nodes: list[NodePatternAST]
+    edges: list[EdgePatternAST]
+
+
+# -------------------------------------------------------------- query blocks
+@dataclass
+class OrderBy:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class AccumStmt:
+    """One ``target += value`` inside an ACCUM / POST-ACCUM clause."""
+
+    target: AccumRef
+    value: Expr
+
+
+@dataclass
+class SelectBlock(Expr):
+    """SELECT ... FROM ... [WHERE] [ACCUM] [POST-ACCUM] [ORDER BY] [LIMIT].
+
+    A SelectBlock is an expression because in procedures it appears on the
+    right-hand side of a vertex-set assignment.
+    """
+
+    select: list[str]  # projected aliases
+    pattern: PathPatternAST
+    where: Expr | None = None
+    accum: list[AccumStmt] = field(default_factory=list)
+    post_accum: list[AccumStmt] = field(default_factory=list)
+    order_by: OrderBy | None = None
+    limit: Expr | None = None
+    distinct: bool = False
+
+
+# ----------------------------------------------------------------- DDL nodes
+@dataclass
+class AttrDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+
+
+@dataclass
+class CreateVertex:
+    name: str
+    attributes: list[AttrDef]
+
+
+@dataclass
+class CreateEdge:
+    name: str
+    from_type: str
+    to_type: str
+    directed: bool
+    attributes: list[AttrDef] = field(default_factory=list)
+
+
+@dataclass
+class AddEmbeddingAttr:
+    vertex_type: str
+    attr_name: str
+    options: dict[str, Any] = field(default_factory=dict)
+    space: str | None = None
+
+
+@dataclass
+class CreateEmbeddingSpace:
+    name: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LoadClause:
+    """``LOAD f TO VERTEX t VALUES (...)`` or ``... TO EMBEDDING ATTRIBUTE``."""
+
+    source: str  # file variable name
+    target_kind: str  # "vertex" | "edge" | "embedding"
+    target_name: str  # vertex/edge type or embedding attr
+    vertex_type: str | None  # for embeddings: the ON VERTEX type
+    values: list[Expr]
+
+
+@dataclass
+class CreateLoadingJob:
+    name: str
+    graph: str
+    loads: list[LoadClause]
+
+
+@dataclass
+class RunLoadingJob:
+    name: str
+    files: dict[str, str]  # file variable -> path
+
+
+@dataclass
+class InsertVertex:
+    """``INSERT INTO Post VALUES (1, "en", 100)`` — positional attributes,
+    in schema declaration order; trailing embedding attributes may follow
+    the ordinary ones as list literals."""
+
+    vertex_type: str
+    values: list[Expr]
+
+
+@dataclass
+class InsertEdge:
+    """``INSERT INTO EDGE knows VALUES (1, 2)`` — (from_pk, to_pk)."""
+
+    edge_type: str
+    values: list[Expr]
+
+
+@dataclass
+class DeleteVertex:
+    """``DELETE FROM Post WHERE <expr over alias 'v'>`` (simplified DML)."""
+
+    vertex_type: str
+    alias: str
+    where: Expr | None
+
+
+# ----------------------------------------------------------------- procedure
+@dataclass
+class ParamDecl:
+    name: str
+    type_name: str
+
+
+@dataclass
+class AccumDecl:
+    """``SumAccum<INT> @@total;`` / ``Map<VERTEX, FLOAT> @@disMap;``."""
+
+    kind: str
+    name: str
+    is_global: bool
+    type_args: list[str] = field(default_factory=list)
+    ctor_args: list[Expr] = field(default_factory=list)
+
+
+class Statement:
+    """Base class for procedure body statements."""
+
+
+@dataclass
+class AssignStmt(Statement):
+    target: str
+    value: Expr
+
+
+@dataclass
+class AccumulateStmt(Statement):
+    """Statement-level ``@@acc += expr;``."""
+
+    target: AccumRef
+    value: Expr
+
+
+@dataclass
+class PrintStmt(Statement):
+    exprs: list[Expr]
+
+
+@dataclass
+class ForeachStmt(Statement):
+    var: str
+    range_from: Expr
+    range_to: Expr
+    body: list[Statement]
+    iterable: Expr | None = None  # FOREACH x IN expr DO
+
+
+@dataclass
+class IfStmt(Statement):
+    condition: Expr
+    then_body: list[Statement]
+    else_body: list[Statement] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Statement):
+    condition: Expr
+    body: list[Statement]
+    limit: int | None = None
+
+
+@dataclass
+class ExprStmt(Statement):
+    expr: Expr
+
+
+@dataclass
+class CreateQuery:
+    name: str
+    params: list[ParamDecl]
+    accum_decls: list[AccumDecl]
+    body: list[Statement]

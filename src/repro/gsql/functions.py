@@ -1,0 +1,112 @@
+"""Built-in GSQL functions.
+
+A small registry of the functions the paper's queries call, plus common
+scalar helpers.  ``VECTOR_DIST`` and ``VectorSearch`` are handled by the
+executor directly (they need the embedding metadata and accumulator
+references respectively); everything else is looked up here by lowercase
+name and invoked with already-evaluated arguments.
+
+Graph algorithms (``tg_louvain``, ``tg_pagerank``, ...) receive the
+execution context so they can read the snapshot and write their result into
+runtime vertex attributes (e.g. ``Person.cid``), matching the paper's Q4
+where Louvain tags each person with a community id.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from ..errors import GSQLSemanticError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import ExecutionContext
+
+__all__ = ["BUILTINS", "CONTEXT_BUILTINS", "call_builtin"]
+
+
+def _split(value: str, sep: str) -> np.ndarray:
+    """``split("0.1:0.2", ":")`` -> float32 vector (the loading-job helper)."""
+    parts = [p for p in str(value).split(sep) if p != ""]
+    return np.asarray([float(p) for p in parts], dtype=np.float32)
+
+
+def _size(value: Any) -> int:
+    return len(value)
+
+
+BUILTINS: dict[str, Callable[..., Any]] = {
+    "split": _split,
+    "size": _size,
+    "count": _size,
+    "abs": abs,
+    "sqrt": math.sqrt,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "min": min,
+    "max": max,
+    "to_string": str,
+    "str": str,
+    "to_int": int,
+    "to_float": float,
+    "lower": lambda s: str(s).lower(),
+    "upper": lambda s: str(s).upper(),
+}
+
+
+def _tg_louvain(ctx: "ExecutionContext", vertex_types: list[str], edge_types: list[str]) -> int:
+    """Louvain community detection; writes ``cid`` and returns #communities."""
+    from ..algorithms.louvain import louvain_communities
+
+    communities = louvain_communities(ctx.snapshot, ctx.db.schema, vertex_types, edge_types)
+    for member, cid in communities.items():
+        ctx.set_runtime_attr(member, "cid", cid)
+    return len(set(communities.values()))
+
+
+def _tg_pagerank(
+    ctx: "ExecutionContext",
+    vertex_types: list[str],
+    edge_types: list[str],
+    damping: float = 0.85,
+    iterations: int = 20,
+) -> int:
+    """PageRank; writes ``rank`` on each vertex and returns the vertex count."""
+    from ..algorithms.pagerank import pagerank
+
+    ranks = pagerank(
+        ctx.snapshot, ctx.db.schema, vertex_types, edge_types,
+        damping=damping, iterations=int(iterations),
+    )
+    for member, score in ranks.items():
+        ctx.set_runtime_attr(member, "rank", score)
+    return len(ranks)
+
+
+def _tg_wcc(ctx: "ExecutionContext", vertex_types: list[str], edge_types: list[str]) -> int:
+    """Weakly connected components; writes ``wcc_id``, returns #components."""
+    from ..algorithms.wcc import weakly_connected_components
+
+    comp = weakly_connected_components(ctx.snapshot, ctx.db.schema, vertex_types, edge_types)
+    for member, cid in comp.items():
+        ctx.set_runtime_attr(member, "wcc_id", cid)
+    return len(set(comp.values()))
+
+
+#: Builtins that need the execution context as their first argument.
+CONTEXT_BUILTINS: dict[str, Callable[..., Any]] = {
+    "tg_louvain": _tg_louvain,
+    "tg_pagerank": _tg_pagerank,
+    "tg_wcc": _tg_wcc,
+}
+
+
+def call_builtin(name: str, ctx: "ExecutionContext", args: list[Any]) -> Any:
+    key = name.lower()
+    if key in CONTEXT_BUILTINS:
+        return CONTEXT_BUILTINS[key](ctx, *args)
+    if key in BUILTINS:
+        return BUILTINS[key](*args)
+    raise GSQLSemanticError(f"unknown function '{name}'")

@@ -1,0 +1,166 @@
+"""GSQL tokenizer.
+
+Keywords are case-insensitive (``SELECT`` == ``select``); identifiers keep
+their case.  Comments: ``--`` to end of line and ``/* ... */`` blocks.
+Multi-character operators include the pattern arrows ``->`` and ``<-``, so
+the lexer longest-matches those before ``<`` / ``-``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GSQLLexError
+
+__all__ = ["KEYWORDS", "Token", "tokenize"]
+
+KEYWORDS = frozenset(
+    """
+    ACCUM ADD ALTER AND AS ASC ATTRIBUTE BY CREATE DELETE DESC DIRECTED
+    DISTINCT DO EDGE ELSE EMBEDDING END FALSE FOR FOREACH FROM GRAPH IF IN
+    INSERT INTERSECT INTO JOB KEY LIMIT LOAD LOADING MINUS NOT ON OR ORDER
+    PRIMARY PRINT QUERY RANGE RETURNS RUN SELECT SPACE THEN TO TRUE
+    UNDIRECTED UNION UPDATE USING VALUES VERTEX WHERE WHILE
+    """.split()
+)
+
+#: Multi-char operators first so longest-match wins.
+_OPERATORS = [
+    "->", "<-", "<=", ">=", "==", "!=", "<>", "+=",
+    "(", ")", "{", "}", "[", "]", ",", ";", ".", ":",
+    "=", "<", ">", "+", "-", "*", "/", "%", "@@", "@",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is KEYWORD, IDENT, INT, FLOAT, STRING, OP, EOF."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "OP" and self.value == op
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn GSQL source into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace / newlines
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # -- comments
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise GSQLLexError("unterminated block comment", line, column())
+            for offset in range(i, end):
+                if source[offset] == "\n":
+                    line += 1
+                    line_start = offset + 1
+            i = end + 2
+            continue
+        # -- strings
+        if ch in "\"'":
+            quote = ch
+            start_col = column()
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(esc, esc))
+                    j += 2
+                else:
+                    if source[j] == "\n":
+                        raise GSQLLexError("unterminated string literal", line, start_col)
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise GSQLLexError("unterminated string literal", line, start_col)
+            tokens.append(Token("STRING", "".join(buf), line, start_col))
+            i = j + 1
+            continue
+        # -- numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start_col = column()
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Don't eat `1.attr`-style member access on ints.
+                    if j + 1 < n and (source[j + 1].isdigit()):
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                    source[j + 1].isdigit() or source[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 2 if source[j + 1] in "+-" else 1
+                else:
+                    break
+            text = source[i:j]
+            kind = "FLOAT" if ("." in text or "e" in text or "E" in text) else "INT"
+            tokens.append(Token(kind, text, line, start_col))
+            i = j
+            continue
+        # -- identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start_col = column()
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, start_col))
+            else:
+                tokens.append(Token("IDENT", text, line, start_col))
+            i = j
+            continue
+        # -- operators (longest match)
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line, column()))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise GSQLLexError(f"unexpected character {ch!r}", line, column())
+    tokens.append(Token("EOF", "", line, column()))
+    return tokens

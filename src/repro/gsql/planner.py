@@ -1,0 +1,140 @@
+"""GSQL query planner.
+
+Lowers an analyzed SELECT block into a physical plan whose operators match
+the paper's notation.  Plans are small dataclasses executed by
+:mod:`repro.gsql.executor`; ``explain()`` renders them bottom-up exactly like
+the paper's examples, e.g. for filtered search (Sec. 5.2)::
+
+    EmbeddingAction[Top k, {s.content_emb}, query_vector]
+    VertexAction[Post:s {s.language = "English"}]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as ast
+from .semantic import SelectInfo
+
+__all__ = ["Plan", "PlanStep", "build_plan", "render_expr"]
+
+
+def render_expr(expr: ast.Expr | None) -> str:
+    """Pretty-print an expression for EXPLAIN output."""
+    if expr is None:
+        return ""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value) if isinstance(expr.value, str) else str(expr.value)
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.AttrRef):
+        return f"{expr.alias}.{expr.attr}"
+    if isinstance(expr, ast.AccumRef):
+        prefix = "@@" if expr.is_global else f"{expr.alias}.@"
+        return f"{prefix}{expr.name}"
+    if isinstance(expr, ast.BinaryOp):
+        op = "=" if expr.op == "==" else expr.op
+        return f"{render_expr(expr.left)} {op} {render_expr(expr.right)}"
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op} {render_expr(expr.operand)}"
+    if isinstance(expr, ast.FuncCall):
+        return f"{expr.name}({', '.join(render_expr(a) for a in expr.args)})"
+    if isinstance(expr, ast.ListLiteral):
+        return f"[{', '.join(render_expr(i) for i in expr.items)}]"
+    if isinstance(expr, ast.VectorAttrSet):
+        return "{" + ", ".join(a.qualified for a in expr.attrs) + "}"
+    if isinstance(expr, ast.MapLiteral):
+        return "{" + ", ".join(f"{e.key}: {render_expr(e.value)}" for e in expr.entries) + "}"
+    if isinstance(expr, ast.SelectBlock):
+        return "<select-block>"
+    return f"<{type(expr).__name__}>"
+
+
+@dataclass
+class PlanStep:
+    """One physical operator; ``describe`` matches the paper's plan syntax."""
+
+    op: str  # EmbeddingAction | VertexAction | EdgeAction | HeapMerge
+    describe: str
+
+
+@dataclass
+class Plan:
+    """A bottom-up operator list (last element executes first)."""
+
+    shape: str
+    info: SelectInfo
+    steps: list[PlanStep] = field(default_factory=list)
+
+    def explain(self) -> str:
+        return "\n".join(step.describe for step in self.steps)
+
+
+def _pattern_steps(info: SelectInfo) -> list[PlanStep]:
+    """VertexAction/EdgeAction steps for the pattern + pushdown filters."""
+    steps: list[PlanStep] = []
+    pattern = info.block.pattern
+    for i, node in enumerate(pattern.nodes):
+        alias = node.alias or f"_{i}"
+        label = node.label or info.alias_types.get(node.alias or "", None) or "?"
+        filters = info.pushdown.get(node.alias or "", [])
+        cond = " {" + " AND ".join(render_expr(f) for f in filters) + "}" if filters else ""
+        steps.append(PlanStep("VertexAction", f"VertexAction[{label}:{alias}{cond}]"))
+        if i < len(pattern.edges):
+            edge = pattern.edges[i]
+            arrow = {"out": "->", "in": "<-", "any": "--"}[edge.direction]
+            rep = f"*{edge.repeat}" if edge.repeat > 1 else ""
+            steps.append(
+                PlanStep("EdgeAction", f"EdgeAction[{edge.edge_type}{rep} {arrow}]")
+            )
+    steps.reverse()  # execution proceeds bottom-up, paper-style
+    return steps
+
+
+def build_plan(info: SelectInfo) -> Plan:
+    """Build the physical plan for one analyzed SELECT block."""
+    plan = Plan(shape=info.shape, info=info)
+    vec = info.vector
+    if info.shape == "pure":
+        assert vec is not None
+        plan.steps.append(
+            PlanStep(
+                "EmbeddingAction",
+                f"EmbeddingAction[Top {render_expr(vec.k_expr)}, "
+                f"{{{vec.alias}.{vec.attr}}}, {render_expr(vec.query_expr)}]",
+            )
+        )
+    elif info.shape == "filtered":
+        assert vec is not None
+        plan.steps.append(
+            PlanStep(
+                "EmbeddingAction",
+                f"EmbeddingAction[Top {render_expr(vec.k_expr)}, "
+                f"{{{vec.alias}.{vec.attr}}}, {render_expr(vec.query_expr)}]",
+            )
+        )
+        plan.steps.extend(_pattern_steps(info))
+    elif info.shape == "range":
+        assert vec is not None
+        plan.steps.append(
+            PlanStep(
+                "EmbeddingAction",
+                f"EmbeddingAction[Range {render_expr(vec.threshold_expr)}, "
+                f"{{{vec.alias}.{vec.attr}}}, {render_expr(vec.query_expr)}]",
+            )
+        )
+        if len(info.block.pattern.nodes) > 1 or info.pushdown or info.residual:
+            plan.steps.extend(_pattern_steps(info))
+    elif info.shape == "similarity_join":
+        assert vec is not None
+        plan.steps.append(
+            PlanStep(
+                "HeapMerge",
+                f"HeapAccum[Top {render_expr(vec.k_expr)}, "
+                f"VECTOR_DIST({vec.alias}.{vec.attr}, {vec.right_alias}.{vec.right_attr})]",
+            )
+        )
+        plan.steps.extend(_pattern_steps(info))
+    else:  # plain graph block
+        plan.steps.extend(_pattern_steps(info))
+    return plan

@@ -1,0 +1,271 @@
+"""GSQL static analysis.
+
+Validates a parsed SELECT block against the schema and classifies it into
+one of the execution shapes of Sec. 5:
+
+- ``pure``            — top-k vector search, no filter (Sec. 5.1)
+- ``range``           — VECTOR_DIST < threshold in WHERE (Sec. 5.1)
+- ``filtered``        — top-k with attribute/pattern pre-filter (Sec. 5.2/5.3)
+- ``similarity_join`` — VECTOR_DIST between two pattern aliases (Sec. 5.4)
+- ``graph``           — no vector operation (plain GSQL)
+
+It also performs the embedding compatibility check of Sec. 4.1 (through
+:func:`repro.core.embedding.check_compatible`) and splits the WHERE clause
+into per-alias pushdown conjuncts plus a residual multi-alias predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GSQLSemanticError
+from ..graph.schema import GraphSchema
+from . import ast_nodes as ast
+
+__all__ = ["SelectInfo", "VectorSpec", "analyze_select", "collect_aliases", "expr_aliases"]
+
+
+@dataclass
+class VectorSpec:
+    """The vector operation extracted from ORDER BY / WHERE."""
+
+    kind: str  # "topk" | "range" | "join"
+    alias: str  # the searched alias (or left alias for joins)
+    attr: str  # embedding attribute name
+    query_expr: ast.Expr | None = None  # query vector (topk/range)
+    right_alias: str | None = None  # join only
+    right_attr: str | None = None  # join only
+    threshold_expr: ast.Expr | None = None  # range only
+    k_expr: ast.Expr | None = None  # topk/join
+
+
+@dataclass
+class SelectInfo:
+    """Everything the planner needs about one SELECT block."""
+
+    block: ast.SelectBlock
+    shape: str  # pure | filtered | range | similarity_join | graph
+    alias_labels: dict[str, str | None]  # alias -> label (type or var name)
+    pushdown: dict[str, list[ast.Expr]] = field(default_factory=dict)
+    residual: list[ast.Expr] = field(default_factory=list)
+    vector: VectorSpec | None = None
+    #: alias -> resolved vertex type name (None when label is a set variable
+    #: whose member types are only known at runtime)
+    alias_types: dict[str, str | None] = field(default_factory=dict)
+
+
+def expr_aliases(expr: ast.Expr, aliases: set[str]) -> set[str]:
+    """The pattern aliases an expression references."""
+    found: set[str] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, ast.AttrRef):
+            if node.alias in aliases:
+                found.add(node.alias)
+        elif isinstance(node, ast.AccumRef):
+            if node.alias and node.alias in aliases:
+                found.add(node.alias)
+        elif isinstance(node, ast.VarRef):
+            if node.name in aliases:
+                found.add(node.name)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.ListLiteral):
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.MapLiteral):
+            for entry in node.entries:
+                walk(entry.value)
+    walk(expr)
+    return found
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten top-level ANDs into a conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def collect_aliases(pattern: ast.PathPatternAST) -> dict[str, str | None]:
+    """alias -> label for every aliased node; raises on duplicates."""
+    out: dict[str, str | None] = {}
+    for node in pattern.nodes:
+        if node.alias:
+            if node.alias in out:
+                raise GSQLSemanticError(f"duplicate pattern alias '{node.alias}'")
+            out[node.alias] = node.label
+    return out
+
+
+def _is_vector_dist(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.FuncCall) and expr.name.upper() == "VECTOR_DIST"
+
+
+def _resolve_alias_types(
+    info: SelectInfo, pattern: ast.PathPatternAST, schema: GraphSchema
+) -> None:
+    """Infer each aliased position's vertex type from labels and edge endpoints."""
+    # Walk positions, inferring from hop endpoints when labels are missing or
+    # are set variables.
+    positions = pattern.nodes
+    types: list[str | None] = []
+    for node in positions:
+        if node.label and schema.has_vertex_type(node.label):
+            types.append(node.label)
+        else:
+            types.append(None)
+    for i, edge in enumerate(pattern.edges):
+        if edge.edge_type is None:
+            continue
+        try:
+            etype = schema.edge_type(edge.edge_type)
+        except Exception:
+            raise GSQLSemanticError(f"unknown edge type '{edge.edge_type}'")
+        if edge.direction == "out":
+            src_t, dst_t = etype.from_type, etype.to_type
+        elif edge.direction == "in":
+            src_t, dst_t = etype.to_type, etype.from_type
+        else:  # undirected "any": endpoints must agree for inference
+            src_t = dst_t = etype.from_type if etype.from_type == etype.to_type else None
+        if types[i] is None and src_t is not None:
+            types[i] = src_t
+        if types[i + 1] is None and dst_t is not None:
+            types[i + 1] = dst_t
+    for node, inferred in zip(positions, types):
+        if node.alias:
+            info.alias_types[node.alias] = inferred
+
+
+def _vector_dist_spec(
+    call: ast.FuncCall, aliases: dict[str, str | None]
+) -> tuple[str, str, ast.Expr | None, str | None, str | None]:
+    """Decompose VECTOR_DIST(args): returns (alias, attr, query, r_alias, r_attr)."""
+    if len(call.args) != 2:
+        raise GSQLSemanticError("VECTOR_DIST takes exactly two arguments")
+    left, right = call.args
+    if not isinstance(left, ast.AttrRef) or left.alias not in aliases:
+        # allow symmetric order: VECTOR_DIST(qvec, s.emb)
+        if isinstance(right, ast.AttrRef) and right.alias in aliases:
+            left, right = right, left
+        else:
+            raise GSQLSemanticError(
+                "VECTOR_DIST requires an embedding attribute reference "
+                "(alias.attr) as one argument"
+            )
+    if isinstance(right, ast.AttrRef) and right.alias in aliases:
+        return left.alias, left.attr, None, right.alias, right.attr
+    return left.alias, left.attr, right, None, None
+
+
+def analyze_select(
+    block: ast.SelectBlock,
+    schema: GraphSchema,
+    known_vars: set[str] | None = None,
+) -> SelectInfo:
+    """Classify and validate a SELECT block.
+
+    ``known_vars`` lists vertex-set variables in scope (labels may refer to
+    them instead of vertex types).
+    """
+    known_vars = known_vars or set()
+    aliases = collect_aliases(block.pattern)
+    for alias in block.select:
+        if alias not in aliases:
+            raise GSQLSemanticError(f"SELECT references unknown alias '{alias}'")
+    for node in block.pattern.nodes:
+        if node.label and not schema.has_vertex_type(node.label) and node.label not in known_vars:
+            raise GSQLSemanticError(
+                f"'{node.label}' is neither a vertex type nor a vertex set variable"
+            )
+
+    info = SelectInfo(block=block, shape="graph", alias_labels=aliases)
+    _resolve_alias_types(info, block.pattern, schema)
+
+    # ----------------------------------------------------- vector operation
+    vector: VectorSpec | None = None
+    if block.order_by is not None and _is_vector_dist(block.order_by.expr):
+        alias, attr, query, r_alias, r_attr = _vector_dist_spec(
+            block.order_by.expr, aliases
+        )
+        if r_alias is not None:
+            if block.limit is None:
+                raise GSQLSemanticError("vector similarity join requires LIMIT k")
+            vector = VectorSpec(
+                "join", alias, attr, right_alias=r_alias, right_attr=r_attr,
+                k_expr=block.limit,
+            )
+        else:
+            if block.limit is None:
+                raise GSQLSemanticError("ORDER BY VECTOR_DIST requires LIMIT k")
+            vector = VectorSpec("topk", alias, attr, query_expr=query, k_expr=block.limit)
+
+    conjuncts = split_conjuncts(block.where)
+    remaining: list[ast.Expr] = []
+    for conj in conjuncts:
+        if (
+            vector is None
+            and isinstance(conj, ast.BinaryOp)
+            and conj.op in ("<", "<=")
+            and _is_vector_dist(conj.left)
+        ):
+            alias, attr, query, r_alias, r_attr = _vector_dist_spec(conj.left, aliases)
+            if r_alias is not None:
+                raise GSQLSemanticError("range search between two aliases is unsupported")
+            vector = VectorSpec(
+                "range", alias, attr, query_expr=query, threshold_expr=conj.right
+            )
+        else:
+            remaining.append(conj)
+
+    # ------------------------------------------------ pushdown vs. residual
+    for conj in remaining:
+        refs = expr_aliases(conj, set(aliases))
+        if len(refs) == 1:
+            info.pushdown.setdefault(next(iter(refs)), []).append(conj)
+        else:
+            info.residual.append(conj)
+
+    # ------------------------------------------------------- classification
+    if vector is not None:
+        info.vector = vector
+        target_type = info.alias_types.get(vector.alias) or aliases.get(vector.alias)
+        if target_type and schema.has_vertex_type(target_type):
+            vtype = schema.vertex_type(target_type)
+            if vector.attr not in vtype.embeddings:
+                raise GSQLSemanticError(
+                    f"vertex '{target_type}' has no embedding attribute '{vector.attr}'"
+                )
+        if vector.kind == "join":
+            info.shape = "similarity_join"
+            join_type = info.alias_types.get(vector.right_alias)
+            if target_type and join_type:
+                from ..core.embedding import check_compatible
+
+                left_emb = schema.vertex_type(target_type).embedding(vector.attr)
+                right_emb = schema.vertex_type(join_type).embedding(vector.right_attr)
+                check_compatible(
+                    [
+                        (f"{target_type}.{vector.attr}", left_emb),
+                        (f"{join_type}.{vector.right_attr}", right_emb),
+                    ]
+                )
+        elif vector.kind == "range":
+            info.shape = "range"
+        else:
+            is_pure = (
+                len(block.pattern.nodes) == 1
+                and not info.pushdown
+                and not info.residual
+                and (block.pattern.nodes[0].label or "") not in known_vars
+            )
+            info.shape = "pure" if is_pure else "filtered"
+    return info

@@ -1,0 +1,545 @@
+"""HNSW (Hierarchical Navigable Small World) index, implemented from scratch.
+
+Follows Malkov & Yashunin (TPAMI 2020) — the index the paper uses for every
+embedding segment — with the features TigerVector relies on:
+
+- tunable ``M`` / ``ef_construction`` at build time and ``ef`` per query
+  (the knob Neo4j/Neptune lack, which drives Figures 7–8),
+- a *filter function* applied at result-collection time while traversal still
+  routes through filtered nodes (the bitmap pre-filter of Sec. 5.1–5.2),
+- ``update_items`` for incremental vacuum merges (Sec. 4.3), including
+  in-place replacement of an existing id's vector,
+- soft deletion (deleted nodes keep navigating but never appear in results),
+- statistics reporting (distance computations, hops) per Sec. 4.4,
+- ``save``/``load`` so vacuum can persist index snapshots.
+
+Performance notes (this is pure Python + numpy):
+
+- layer-0 adjacency lives in one preallocated ``(capacity, 2M)`` int32 matrix
+  so neighbour expansion, visited-filtering, and visited-marking are each a
+  single vectorized operation;
+- neighbour selection uses the diversity heuristic (Algorithm 4) with one
+  pairwise-distance matrix per call and an incrementally maintained
+  min-distance-to-selected vector — the heuristic is *required* for recall on
+  clustered data (simple distance pruning disconnects clusters);
+- visited marks are generation counters, so no per-search allocation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import VectorSearchError
+from ..types import Metric
+from .interface import IndexStats, SearchResult, VectorIndex
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex(VectorIndex):
+    """A single HNSW graph over one embedding segment's vectors."""
+
+    DEFAULT_EF = 64
+
+    def __init__(
+        self,
+        dim: int,
+        metric: Metric = Metric.L2,
+        M: int = 16,
+        ef_construction: int = 128,
+        seed: int = 100,
+        prune_heuristic: bool = True,
+    ):
+        if dim <= 0:
+            raise VectorSearchError("dim must be positive")
+        if M < 2:
+            raise VectorSearchError("M must be at least 2")
+        self.dim = dim
+        self.metric = metric
+        self.M = M
+        self.M0 = 2 * M  # layer-0 degree bound, per the original paper
+        self.ef_construction = max(ef_construction, M)
+        self.prune_heuristic = prune_heuristic
+        self._ml = 1.0 / np.log(M)
+        self._rng = np.random.default_rng(seed)
+        self._capacity = 64
+        self._vectors = np.zeros((self._capacity, dim), dtype=np.float32)
+        self._norms = np.zeros(self._capacity, dtype=np.float32)  # for COSINE
+        self._ids = np.zeros(self._capacity, dtype=np.int64)
+        self._id_to_row: dict[int, int] = {}
+        self._count = 0
+        self._levels: list[int] = []
+        # Layer 0: dense adjacency matrix + per-row degree.  Lists may
+        # temporarily exceed M0 by up to PRUNE_SLACK entries; pruning then
+        # shrinks them back to M0 in one heuristic call, amortizing the
+        # (expensive) diversity selection over several backlink additions.
+        self.PRUNE_SLACK = 8
+        self._links0_width = self.M0 + self.PRUNE_SLACK
+        self._links0 = np.full((self._capacity, self._links0_width), -1, dtype=np.int32)
+        self._links0_cnt = np.zeros(self._capacity, dtype=np.int32)
+        # Layers 1..max: sparse (few nodes reach them).
+        self._links_upper: list[dict[int, list[int]]] = []
+        self._deleted = np.zeros(self._capacity, dtype=bool)
+        self._entry_point: int | None = None
+        self._max_level = -1
+        self._stats = IndexStats()
+        self._write_lock = threading.RLock()
+        # Generation-stamped visited marks: no per-search allocation.
+        self._visited = np.zeros(self._capacity, dtype=np.int64)
+        self._visit_generation = 0
+
+    # ------------------------------------------------------------ plumbing
+    def _grow(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        new_capacity = max(needed, self._capacity * 2)
+
+        def grown(arr: np.ndarray, fill=0) -> np.ndarray:
+            shape = (new_capacity,) + arr.shape[1:]
+            out = np.full(shape, fill, dtype=arr.dtype) if fill else np.zeros(shape, arr.dtype)
+            out[: self._count] = arr[: self._count]
+            return out
+
+        self._vectors = grown(self._vectors)
+        self._norms = grown(self._norms)
+        self._ids = grown(self._ids)
+        self._deleted = grown(self._deleted)
+        self._visited = grown(self._visited)
+        self._links0 = grown(self._links0, fill=-1)
+        self._links0_cnt = grown(self._links0_cnt)
+        self._capacity = new_capacity
+
+    def _neighbors(self, row: int, level: int) -> np.ndarray:
+        if level == 0:
+            return self._links0[row, : self._links0_cnt[row]]
+        layer = self._links_upper[level - 1]
+        return np.asarray(layer.get(row, ()), dtype=np.int32)
+
+    def _set_neighbors(self, row: int, level: int, neighbors: Sequence[int]) -> None:
+        if level == 0:
+            n = len(neighbors)
+            self._links0[row, :n] = neighbors
+            self._links0_cnt[row] = n
+        else:
+            self._links_upper[level - 1][row] = list(neighbors)
+
+    # ------------------------------------------------------------- kernels
+    def _dist_to(self, query: np.ndarray, rows) -> np.ndarray:
+        """Distances from ``query`` to stored rows (lean, unchecked)."""
+        vecs = self._vectors[rows]
+        self._stats.num_distance_computations += vecs.shape[0]
+        metric = self.metric
+        if metric is Metric.L2:
+            diff = vecs - query
+            return np.einsum("ij,ij->i", diff, diff)
+        if metric is Metric.IP:
+            return 1.0 - vecs @ query
+        # COSINE via precomputed row norms: one matvec per call.
+        qn = float(np.sqrt(query @ query))
+        if qn == 0.0:
+            return np.ones(vecs.shape[0], dtype=np.float32)
+        denom = self._norms[rows] * qn
+        denom[denom == 0.0] = 1.0
+        return 1.0 - (vecs @ query) / denom
+
+    def _dist_one(self, query: np.ndarray, row: int) -> float:
+        self._stats.num_distance_computations += 1
+        vec = self._vectors[row]
+        metric = self.metric
+        if metric is Metric.L2:
+            diff = vec - query
+            return float(diff @ diff)
+        if metric is Metric.IP:
+            return float(1.0 - vec @ query)
+        qn = float(np.sqrt(query @ query))
+        denom = float(self._norms[row]) * qn
+        if denom == 0.0:
+            return 1.0
+        return float(1.0 - (vec @ query) / denom)
+
+    def _pairwise(self, rows: np.ndarray) -> np.ndarray:
+        """Candidate-to-candidate distance matrix for neighbour selection."""
+        vecs = self._vectors[rows]
+        n = vecs.shape[0]
+        self._stats.num_distance_computations += n * n
+        metric = self.metric
+        if metric is Metric.L2:
+            sq = np.einsum("ij,ij->i", vecs, vecs)
+            return np.maximum(sq[:, None] + sq[None, :] - 2.0 * (vecs @ vecs.T), 0.0)
+        if metric is Metric.IP:
+            return 1.0 - vecs @ vecs.T
+        norms = self._norms[rows].copy()
+        norms[norms == 0.0] = 1.0
+        return 1.0 - (vecs @ vecs.T) / (norms[:, None] * norms[None, :])
+
+    # -------------------------------------------------------------- search
+    def _greedy_descend(
+        self, query: np.ndarray, start_row: int, from_level: int, to_level: int
+    ) -> int:
+        """Single-entry greedy search from ``from_level`` down to ``to_level`` (exclusive)."""
+        current = start_row
+        current_dist = self._dist_one(query, current)
+        for level in range(from_level, to_level, -1):
+            improved = True
+            while improved:
+                improved = False
+                neighbors = self._neighbors(current, level)
+                if neighbors.size == 0:
+                    continue
+                self._stats.num_hops += 1
+                dists = self._dist_to(query, neighbors)
+                best = int(np.argmin(dists))
+                if dists[best] < current_dist:
+                    current = int(neighbors[best])
+                    current_dist = float(dists[best])
+                    improved = True
+        return current
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entry_row: int,
+        ef: int,
+        level: int,
+        collect_filter: Callable[[int], bool] | None = None,
+    ) -> list[tuple[float, int]]:
+        """Best-first beam search on one layer.
+
+        Returns up to ``ef`` ``(distance, row)`` pairs sorted ascending.
+        Nodes failing ``collect_filter`` (or soft-deleted ones) are traversed
+        but never collected — the filtered-search semantics of Sec. 5.1.
+        """
+        self._visit_generation += 1
+        generation = self._visit_generation
+        visited = self._visited
+        visited[entry_row] = generation
+        entry_dist = self._dist_one(query, entry_row)
+        candidates: list[tuple[float, int]] = [(entry_dist, entry_row)]  # min-heap
+        results: list[tuple[float, int]] = []  # max-heap via negated distance
+        deleted = self._deleted
+
+        if not deleted[entry_row] and (collect_filter is None or collect_filter(entry_row)):
+            heapq.heappush(results, (-entry_dist, entry_row))
+
+        while candidates:
+            dist, row = heapq.heappop(candidates)
+            if len(results) >= ef and dist > -results[0][0]:
+                break
+            neighbors = self._neighbors(row, level)
+            if neighbors.size:
+                fresh = neighbors[visited[neighbors] != generation]
+            else:
+                fresh = neighbors
+            if fresh.size == 0:
+                continue
+            self._stats.num_hops += 1
+            visited[fresh] = generation
+            dists = self._dist_to(query, fresh)
+            worst = -results[0][0] if results else np.inf
+            full = len(results) >= ef
+            for n_dist, n_row in zip(dists.tolist(), fresh.tolist()):
+                if not full or n_dist < worst:
+                    heapq.heappush(candidates, (n_dist, n_row))
+                    if not deleted[n_row] and (
+                        collect_filter is None or collect_filter(n_row)
+                    ):
+                        heapq.heappush(results, (-n_dist, n_row))
+                        if len(results) > ef:
+                            heapq.heappop(results)
+                        worst = -results[0][0]
+                        full = len(results) >= ef
+        return sorted((-d, row) for d, row in results)
+
+    def topk_search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        filter_fn: Callable[[int], bool] | None = None,
+    ) -> SearchResult:
+        if k <= 0:
+            raise VectorSearchError("k must be positive")
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise VectorSearchError(f"expected dimension {self.dim}, got {query.shape[0]}")
+        self._stats.num_searches += 1
+        if self._entry_point is None:
+            return SearchResult.empty()
+        ef = max(ef or self.DEFAULT_EF, k)
+        collect = None
+        if filter_fn is not None:
+            ids = self._ids
+
+            def collect(row: int) -> bool:
+                return filter_fn(int(ids[row]))
+
+        entry = self._greedy_descend(query, self._entry_point, self._max_level, 0)
+        found = self._search_layer(query, entry, ef, 0, collect_filter=collect)
+        top = found[:k]
+        if not top:
+            return SearchResult.empty()
+        dists, rows = zip(*top)
+        return SearchResult(self._ids[list(rows)], np.asarray(dists, dtype=np.float32))
+
+    def range_search(
+        self,
+        query: np.ndarray,
+        threshold: float,
+        ef: int | None = None,
+        filter_fn: Callable[[int], bool] | None = None,
+    ) -> SearchResult:
+        """Range search via the DiskANN repeated-top-k adaptation (Sec. 4.4)."""
+        from .range_search import range_search_via_topk
+
+        return range_search_via_topk(self, query, threshold, ef=ef, filter_fn=filter_fn)
+
+    # -------------------------------------------------------------- insert
+    def _select_neighbors(self, candidates: list[tuple[float, int]], M: int) -> list[int]:
+        """Heuristic neighbour selection (Algorithm 4 of the HNSW paper).
+
+        Keeps a candidate only if it is closer to the query than to every
+        already-selected neighbour, which preserves graph navigability on
+        clustered data.
+        """
+        if len(candidates) <= M:
+            return [row for _, row in candidates]
+        rows = np.fromiter((row for _, row in candidates), dtype=np.int64, count=len(candidates))
+        dists = [d for d, _ in candidates]
+        pair = self._pairwise(rows)  # one vectorized call instead of one per check
+        n = len(rows)
+        # min_to_selected[i] = distance from candidate i to its nearest
+        # already-selected neighbour; one vectorized minimum per selection.
+        min_to_selected = np.full(n, np.inf)
+        selected: list[int] = []  # indexes into `rows`
+        for i in range(n):  # candidates arrive sorted ascending
+            if len(selected) >= M:
+                break
+            if min_to_selected[i] < dists[i]:
+                continue
+            selected.append(i)
+            np.minimum(min_to_selected, pair[i], out=min_to_selected)
+        # Backfill with nearest remaining if the heuristic was too aggressive.
+        if len(selected) < M:
+            chosen = set(selected)
+            for i in range(n):
+                if len(selected) >= M:
+                    break
+                if i not in chosen:
+                    selected.append(i)
+                    chosen.add(i)
+        return [int(rows[i]) for i in selected]
+
+    def _append_link(self, node: int, level: int, new_row: int) -> None:
+        """Add a backlink, pruning with the diversity heuristic on overflow."""
+        bound = self.M0 if level == 0 else self.M
+        if level == 0:
+            cnt = int(self._links0_cnt[node])
+            if cnt < self._links0_width:
+                self._links0[node, cnt] = new_row
+                self._links0_cnt[node] = cnt + 1
+                return
+            links = self._links0[node, :cnt].tolist() + [new_row]
+        else:
+            layer = self._links_upper[level - 1]
+            links = layer.get(node, [])
+            if len(links) < bound:
+                links.append(new_row)
+                layer[node] = links
+                return
+            links = links + [new_row]
+        dists = self._dist_to(self._vectors[node], np.asarray(links, dtype=np.int64))
+        if self.prune_heuristic:
+            ranked = sorted(zip(dists.tolist(), links))
+            self._set_neighbors(node, level, self._select_neighbors(ranked, bound))
+        else:
+            keep = np.argpartition(dists, bound - 1)[:bound]
+            self._set_neighbors(node, level, [links[i] for i in keep])
+
+    def _insert(self, external_id: int, vector: np.ndarray) -> None:
+        existing = self._id_to_row.get(external_id)
+        if existing is not None:
+            # Replacing a vector in place would leave the graph links stale
+            # (they were chosen for the old value), so updates tombstone the
+            # old row and reinsert fresh — the row stays navigable but can no
+            # longer be returned.  This is also why incremental updates cost
+            # more than build-time inserts, producing the update-vs-rebuild
+            # crossover of the paper's Figure 11.
+            self._deleted[existing] = True
+            self._stats.num_updates += 1
+        row = self._count
+        self._grow(row + 1)
+        self._vectors[row] = vector
+        self._norms[row] = np.sqrt(vector @ vector)
+        self._ids[row] = external_id
+        self._id_to_row[external_id] = row
+        self._count += 1
+        level = int(-np.log(max(self._rng.random(), 1e-12)) * self._ml)
+        self._levels.append(level)
+        while len(self._links_upper) < level:
+            self._links_upper.append({})
+        for l in range(1, level + 1):
+            self._links_upper[l - 1][row] = []
+        self._stats.num_inserts += 1
+        self._stats.num_vectors = self._count
+
+        if self._entry_point is None:
+            self._entry_point = row
+            self._max_level = level
+            return
+
+        entry = self._entry_point
+        if level < self._max_level:
+            entry = self._greedy_descend(vector, entry, self._max_level, level)
+        for l in range(min(level, self._max_level), -1, -1):
+            found = self._search_layer(vector, entry, self.ef_construction, l)
+            if not found:
+                continue
+            M = self.M0 if l == 0 else self.M
+            neighbors = self._select_neighbors(found, M)
+            self._set_neighbors(row, l, neighbors)
+            for neighbor in neighbors:
+                self._append_link(neighbor, l, row)
+            entry = found[0][1]
+        if level > self._max_level:
+            self._max_level = level
+            self._entry_point = row
+
+    def update_items(self, ids: Sequence[int], vectors: np.ndarray, num_threads: int = 1) -> None:
+        """Insert-or-replace a batch (UpdateItems, Sec. 4.4).
+
+        ``num_threads > 1`` partitions the batch into per-thread id subsets
+        (each thread keeps its subset in record order, as the paper
+        describes); inserts themselves serialize on the write lock because
+        the graph structure is shared — in this Python port the win is
+        overlap with numpy kernels, not full parallelism.
+        """
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        if vectors.shape[1] != self.dim:
+            raise VectorSearchError(f"expected dimension {self.dim}, got {vectors.shape[1]}")
+        if len(ids) != vectors.shape[0]:
+            raise VectorSearchError("ids and vectors length mismatch")
+        start = time.perf_counter()
+        if num_threads <= 1 or len(ids) < 4:
+            with self._write_lock:
+                for ext_id, vector in zip(ids, vectors):
+                    self._insert(int(ext_id), vector)
+        else:
+            chunks = np.array_split(np.arange(len(ids)), num_threads)
+
+            def worker(chunk: np.ndarray) -> None:
+                for i in chunk:
+                    with self._write_lock:
+                        self._insert(int(ids[i]), vectors[i])
+
+            threads = [
+                threading.Thread(target=worker, args=(chunk,), name=f"hnsw-update-{t}")
+                for t, chunk in enumerate(chunks)
+                if chunk.size
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        self._stats.build_seconds += time.perf_counter() - start
+
+    def delete_items(self, ids: Sequence[int]) -> None:
+        """Soft-delete: rows stay navigable but never surface in results."""
+        with self._write_lock:
+            for ext_id in ids:
+                row = self._id_to_row.get(int(ext_id))
+                if row is not None and not self._deleted[row]:
+                    self._deleted[row] = True
+                    self._stats.num_deleted += 1
+
+    # --------------------------------------------------------------- reads
+    def get_embedding(self, external_id: int) -> np.ndarray:
+        row = self._id_to_row.get(int(external_id))
+        if row is None or self._deleted[row]:
+            raise VectorSearchError(f"id {external_id} not in index")
+        return self._vectors[row].copy()
+
+    def __contains__(self, external_id: int) -> bool:
+        row = self._id_to_row.get(int(external_id))
+        return row is not None and not self._deleted[row]
+
+    def __len__(self) -> int:
+        return self._count - int(np.count_nonzero(self._deleted[: self._count]))
+
+    @property
+    def stats(self) -> IndexStats:
+        self._stats.num_vectors = self._count
+        return self._stats
+
+    # --------------------------------------------------------- persistence
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_write_lock"]  # locks are not picklable; recreate on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._write_lock = threading.RLock()
+
+    def save(self, path) -> None:
+        """Persist the index snapshot (vectors + graph) to one file."""
+        path = Path(path)
+        payload = {
+            "dim": self.dim,
+            "metric": self.metric.value,
+            "M": self.M,
+            "ef_construction": self.ef_construction,
+            "prune_heuristic": self.prune_heuristic,
+            "count": self._count,
+            "vectors": self._vectors[: self._count],
+            "ids": self._ids[: self._count],
+            "levels": self._levels,
+            "links0": self._links0[: self._count],
+            "links0_cnt": self._links0_cnt[: self._count],
+            "links_upper": self._links_upper,
+            "deleted": self._deleted[: self._count],
+            "entry_point": self._entry_point,
+            "max_level": self._max_level,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "HNSWIndex":
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        index = cls(
+            dim=payload["dim"],
+            metric=Metric(payload["metric"]),
+            M=payload["M"],
+            ef_construction=payload["ef_construction"],
+            prune_heuristic=payload.get("prune_heuristic", True),
+        )
+        count = payload["count"]
+        index._grow(max(count, 1))
+        index._count = count
+        index._vectors[:count] = payload["vectors"]
+        if count:
+            index._norms[:count] = np.sqrt(
+                np.einsum("ij,ij->i", index._vectors[:count], index._vectors[:count])
+            )
+        index._ids[:count] = payload["ids"]
+        index._deleted[:count] = payload["deleted"]
+        index._levels = list(payload["levels"])
+        index._links0[:count] = payload["links0"]
+        index._links0_cnt[:count] = payload["links0_cnt"]
+        index._links_upper = [dict(layer) for layer in payload["links_upper"]]
+        index._id_to_row = {int(index._ids[row]): row for row in range(count)}
+        index._entry_point = payload["entry_point"]
+        index._max_level = payload["max_level"]
+        index._stats.num_vectors = count
+        return index

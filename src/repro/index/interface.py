@@ -1,0 +1,168 @@
+"""The generic vector-index interface (paper Sec. 4.4).
+
+TigerVector integrates vector indexes behind four generic functions:
+``GetEmbedding``, ``TopKSearch``, ``RangeSearch``, and ``UpdateItems``;
+implementing these is all a new index needs.  We mirror that contract in
+:class:`VectorIndex` (snake_case), add deletion and statistics reporting
+(the paper enhances its indexes to report stats), and provide
+:func:`create_index` as the factory the embedding service uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import VectorSearchError
+from ..types import IndexType, Metric
+
+__all__ = ["IndexStats", "SearchResult", "VectorIndex", "create_index"]
+
+
+@dataclass
+class SearchResult:
+    """Top-k (or range) search output: parallel id/distance arrays, best first."""
+
+    ids: np.ndarray  # int64 external ids
+    distances: np.ndarray  # float32
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.distances = np.asarray(self.distances, dtype=np.float32)
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    def __iter__(self):
+        return iter(zip(self.ids.tolist(), self.distances.tolist()))
+
+    @classmethod
+    def empty(cls) -> "SearchResult":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "SearchResult":
+        pairs = sorted(pairs, key=lambda p: p[1])
+        if not pairs:
+            return cls.empty()
+        ids, dists = zip(*pairs)
+        return cls(np.asarray(ids), np.asarray(dists))
+
+    def truncated(self, k: int) -> "SearchResult":
+        return SearchResult(self.ids[:k], self.distances[:k])
+
+
+@dataclass
+class IndexStats:
+    """Counters the index reports for performance measurement (Sec. 4.4)."""
+
+    num_vectors: int = 0
+    num_deleted: int = 0
+    num_searches: int = 0
+    num_distance_computations: int = 0
+    num_hops: int = 0
+    num_inserts: int = 0
+    num_updates: int = 0
+    build_seconds: float = 0.0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class VectorIndex:
+    """Abstract base: the four generic functions plus deletion and stats."""
+
+    metric: Metric
+    dim: int
+
+    # -- GetEmbedding ---------------------------------------------------
+    def get_embedding(self, external_id: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def __contains__(self, external_id: int) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- TopKSearch ------------------------------------------------------
+    def topk_search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        filter_fn: Callable[[int], bool] | None = None,
+    ) -> SearchResult:
+        """Return up to ``k`` valid nearest neighbours, best first.
+
+        ``filter_fn(external_id)`` excludes ids from results while still
+        allowing graph traversal through them, exactly like the bitmap filter
+        TigerVector passes to HNSW.
+        """
+        raise NotImplementedError
+
+    # -- RangeSearch -----------------------------------------------------
+    def range_search(
+        self,
+        query: np.ndarray,
+        threshold: float,
+        ef: int | None = None,
+        filter_fn: Callable[[int], bool] | None = None,
+    ) -> SearchResult:
+        raise NotImplementedError
+
+    # -- UpdateItems -----------------------------------------------------
+    def update_items(
+        self,
+        ids: Sequence[int],
+        vectors: np.ndarray,
+        num_threads: int = 1,
+    ) -> None:
+        """Insert-or-replace vectors; the incremental vacuum path (Sec. 4.3)."""
+        raise NotImplementedError
+
+    def delete_items(self, ids: Sequence[int]) -> None:
+        raise NotImplementedError
+
+    # -- stats -----------------------------------------------------------
+    @property
+    def stats(self) -> IndexStats:
+        raise NotImplementedError
+
+
+def create_index(
+    index_type: IndexType,
+    dim: int,
+    metric: Metric,
+    index_params: dict | None = None,
+) -> VectorIndex:
+    """Factory used by embedding segments to build their per-segment index."""
+    from .bruteforce import BruteForceIndex
+    from .hnsw import HNSWIndex
+    from .ivf import IVFFlatIndex
+    from .sq8 import SQ8FlatIndex
+
+    params = dict(index_params or {})
+    if index_type is IndexType.HNSW:
+        return HNSWIndex(
+            dim=dim,
+            metric=metric,
+            M=params.get("M", 16),
+            ef_construction=params.get("ef_construction", 128),
+            seed=params.get("seed", 100),
+        )
+    if index_type is IndexType.FLAT:
+        return BruteForceIndex(dim=dim, metric=metric)
+    if index_type is IndexType.IVF_FLAT:
+        return IVFFlatIndex(
+            dim=dim,
+            metric=metric,
+            nlist=params.get("nlist", 64),
+            nprobe=params.get("nprobe", 8),
+            seed=params.get("seed", 17),
+        )
+    if index_type is IndexType.SQ8:
+        return SQ8FlatIndex(dim=dim, metric=metric)
+    raise VectorSearchError(f"unsupported index type: {index_type}")

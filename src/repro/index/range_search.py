@@ -1,0 +1,57 @@
+"""Range search built from repeated top-k searches (paper Sec. 4.4).
+
+HNSW has no native range-search operation, so TigerVector adapts the
+DiskANN approach: run top-k searches with geometrically growing ``k`` until
+the given threshold is smaller than the median of the returned distances —
+at that point at least half of the last result set lies beyond the radius,
+so the within-radius set has been covered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import VectorSearchError
+from .interface import SearchResult, VectorIndex
+
+__all__ = ["range_search_via_topk"]
+
+
+def range_search_via_topk(
+    index: VectorIndex,
+    query: np.ndarray,
+    threshold: float,
+    initial_k: int = 16,
+    growth: int = 2,
+    ef: int | None = None,
+    filter_fn: Callable[[int], bool] | None = None,
+    max_k: int | None = None,
+) -> SearchResult:
+    """All valid vectors with distance < ``threshold``, sorted ascending.
+
+    ``initial_k`` and ``growth`` control the doubling schedule; ``max_k``
+    caps the search (defaults to the index size).
+    """
+    if threshold <= 0 and index.metric.value == "L2":
+        return SearchResult.empty()
+    if initial_k <= 0 or growth < 2:
+        raise VectorSearchError("initial_k must be positive and growth >= 2")
+    size = len(index)
+    if size == 0:
+        return SearchResult.empty()
+    cap = min(max_k or size, size)
+    k = min(initial_k, cap)
+    while True:
+        # ef must keep up with k or the beam cannot return k results.
+        search_ef = max(ef or 0, k)
+        result = index.topk_search(query, k, ef=search_ef, filter_fn=filter_fn)
+        if len(result) == 0:
+            return SearchResult.empty()
+        exhausted = len(result) < k or k >= cap
+        median = float(np.median(result.distances))
+        if threshold <= median or exhausted:
+            within = result.distances < threshold
+            return SearchResult(result.ids[within], result.distances[within])
+        k = min(k * growth, cap)

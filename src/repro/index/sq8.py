@@ -1,0 +1,157 @@
+"""SQ8-Flat: scalar-quantized brute force, the memory-saving index option.
+
+A second "quantization-based index" (paper Sec. 4.4) behind the same
+interface: vectors are stored as uint8 codes with per-dimension min/max
+scaling (4x smaller than float32), and search decodes on the fly.  Exact
+ordering is approximated by quantization, so recall is slightly below the
+FLAT index while memory drops 4x — the trade-off the ablation bench shows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import VectorSearchError
+from ..types import Metric, batch_distances
+from .interface import IndexStats, SearchResult, VectorIndex
+
+__all__ = ["SQ8FlatIndex"]
+
+
+class SQ8FlatIndex(VectorIndex):
+    """Brute force over 8-bit scalar-quantized codes."""
+
+    def __init__(self, dim: int, metric: Metric = Metric.L2):
+        if dim <= 0:
+            raise VectorSearchError("dim must be positive")
+        self.dim = dim
+        self.metric = metric
+        self._codes = np.zeros((0, dim), dtype=np.uint8)
+        self._ids = np.zeros(0, dtype=np.int64)
+        self._id_to_row: dict[int, int] = {}
+        self._lo: np.ndarray | None = None  # per-dimension range, fixed at
+        self._scale: np.ndarray | None = None  # first train
+        self._stats = IndexStats()
+
+    # ----------------------------------------------------------- quantizer
+    def _train(self, vectors: np.ndarray) -> None:
+        lo = vectors.min(axis=0)
+        hi = vectors.max(axis=0)
+        span = np.maximum(hi - lo, 1e-6)
+        self._lo = lo.astype(np.float32)
+        self._scale = (span / 255.0).astype(np.float32)
+
+    def _encode(self, vectors: np.ndarray) -> np.ndarray:
+        quantized = np.clip((vectors - self._lo) / self._scale, 0, 255)
+        return np.round(quantized).astype(np.uint8)
+
+    def _decode(self, codes: np.ndarray) -> np.ndarray:
+        return codes.astype(np.float32) * self._scale + self._lo
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._codes.nbytes)
+
+    # ------------------------------------------------------------- updates
+    def update_items(self, ids: Sequence[int], vectors: np.ndarray, num_threads: int = 1) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        if vectors.shape[1] != self.dim:
+            raise VectorSearchError(f"expected dimension {self.dim}, got {vectors.shape[1]}")
+        if len(ids) != vectors.shape[0]:
+            raise VectorSearchError("ids and vectors length mismatch")
+        if self._lo is None:
+            self._train(vectors)
+        codes = self._encode(vectors)
+        for ext_id, code in zip(ids, codes):
+            ext_id = int(ext_id)
+            row = self._id_to_row.get(ext_id)
+            if row is None:
+                self._codes = np.vstack([self._codes, code[None, :]])
+                self._ids = np.append(self._ids, np.int64(ext_id))
+                self._id_to_row[ext_id] = len(self._ids) - 1
+                self._stats.num_inserts += 1
+            else:
+                self._codes[row] = code
+                self._stats.num_updates += 1
+        self._stats.num_vectors = len(self._id_to_row)
+
+    def delete_items(self, ids: Sequence[int]) -> None:
+        for ext_id in ids:
+            ext_id = int(ext_id)
+            row = self._id_to_row.pop(ext_id, None)
+            if row is None:
+                continue
+            last = len(self._ids) - 1
+            if row != last:
+                moved = int(self._ids[last])
+                self._ids[row] = moved
+                self._codes[row] = self._codes[last]
+                self._id_to_row[moved] = row
+            self._ids = self._ids[:last]
+            self._codes = self._codes[:last]
+            self._stats.num_deleted += 1
+        self._stats.num_vectors = len(self._id_to_row)
+
+    # --------------------------------------------------------------- reads
+    def get_embedding(self, external_id: int) -> np.ndarray:
+        """Returns the *decoded* (quantized) vector, as a real SQ index would."""
+        row = self._id_to_row.get(int(external_id))
+        if row is None:
+            raise VectorSearchError(f"id {external_id} not in index")
+        return self._decode(self._codes[row][None, :])[0]
+
+    def __contains__(self, external_id: int) -> bool:
+        return int(external_id) in self._id_to_row
+
+    def __len__(self) -> int:
+        return len(self._id_to_row)
+
+    # -------------------------------------------------------------- search
+    def topk_search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        filter_fn: Callable[[int], bool] | None = None,
+    ) -> SearchResult:
+        if k <= 0:
+            raise VectorSearchError("k must be positive")
+        self._stats.num_searches += 1
+        n = len(self._ids)
+        if n == 0:
+            return SearchResult.empty()
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        decoded = self._decode(self._codes)
+        self._stats.num_distance_computations += n
+        dists = batch_distances(query, decoded, self.metric)
+        ids = self._ids
+        if filter_fn is not None:
+            keep = np.fromiter((filter_fn(int(i)) for i in ids), dtype=bool, count=n)
+            ids, dists = ids[keep], dists[keep]
+        if ids.size == 0:
+            return SearchResult.empty()
+        k = min(k, ids.size)
+        part = np.argpartition(dists, k - 1)[:k]
+        order = part[np.argsort(dists[part], kind="stable")]
+        return SearchResult(ids[order], dists[order])
+
+    def range_search(
+        self,
+        query: np.ndarray,
+        threshold: float,
+        ef: int | None = None,
+        filter_fn: Callable[[int], bool] | None = None,
+    ) -> SearchResult:
+        result = self.topk_search(
+            query, max(len(self), 1), filter_fn=filter_fn
+        )
+        within = result.distances < threshold
+        return SearchResult(result.ids[within], result.distances[within])
+
+    @property
+    def stats(self) -> IndexStats:
+        return self._stats

@@ -1,0 +1,165 @@
+"""Common value types and numpy distance kernels.
+
+Defines the attribute data types supported by the graph engine, the vector
+distance metrics supported by the embedding type (Sec. 4.1 of the paper), and
+vectorized distance kernels used by both the HNSW index and the brute-force
+paths.
+
+Distance conventions
+--------------------
+All metrics are expressed as *distances* (smaller is closer):
+
+- ``L2``: squared Euclidean distance.  Using the squared form preserves the
+  ordering and avoids a sqrt per candidate, which is what hnswlib does.
+- ``IP``: ``1 - <a, b>`` (inner-product similarity turned into a distance).
+- ``COSINE``: ``1 - cos(a, b)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+from .errors import DimensionMismatchError, VectorSearchError
+
+__all__ = [
+    "AttrType",
+    "DataType",
+    "IndexType",
+    "Metric",
+    "batch_distances",
+    "distance",
+    "normalize",
+    "pairwise_distances",
+]
+
+
+class AttrType(enum.Enum):
+    """Data types for ordinary (non-embedding) vertex/edge attributes."""
+
+    INT = "INT"
+    UINT = "UINT"
+    FLOAT = "FLOAT"
+    DOUBLE = "DOUBLE"
+    BOOL = "BOOL"
+    STRING = "STRING"
+    DATETIME = "DATETIME"
+    LIST_FLOAT = "LIST<FLOAT>"
+    LIST_INT = "LIST<INT>"
+
+
+class DataType(enum.Enum):
+    """Element data types for embedding attributes."""
+
+    FLOAT = "FLOAT"
+    DOUBLE = "DOUBLE"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self is DataType.FLOAT else np.float64)
+
+
+class IndexType(enum.Enum):
+    """Vector index algorithms supported for an embedding attribute.
+
+    HNSW is the paper's default; FLAT is exact brute force; IVF_FLAT and
+    SQ8 are the "quantization-based indexes" extension the paper says plugs
+    in behind the same four generic functions (Sec. 4.4).
+    """
+
+    HNSW = "HNSW"
+    FLAT = "FLAT"
+    IVF_FLAT = "IVF_FLAT"
+    SQ8 = "SQ8"
+
+
+class Metric(enum.Enum):
+    """Similarity metric used by VECTOR_DIST and the vector indexes."""
+
+    L2 = "L2"
+    IP = "IP"
+    COSINE = "COSINE"
+
+
+def normalize(vectors: np.ndarray) -> np.ndarray:
+    """Return L2-normalized copies of ``vectors`` (1-d or 2-d).
+
+    Zero vectors are left unchanged rather than producing NaNs.
+    """
+    arr = np.asarray(vectors, dtype=np.float32)
+    if arr.ndim == 1:
+        norm = float(np.linalg.norm(arr))
+        return arr if norm == 0.0 else arr / norm
+    norms = np.linalg.norm(arr, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return arr / norms
+
+
+def _check_dims(query: np.ndarray, vectors: np.ndarray) -> None:
+    if query.shape[-1] != vectors.shape[-1]:
+        raise DimensionMismatchError(
+            f"query has dimension {query.shape[-1]} but vectors have "
+            f"dimension {vectors.shape[-1]}"
+        )
+
+
+def batch_distances(query: np.ndarray, vectors: np.ndarray, metric: Metric) -> np.ndarray:
+    """Distances from one query vector to each row of ``vectors``.
+
+    This is the hot kernel shared by brute-force search, HNSW neighbour
+    expansion, and delta-overlay scans.  ``vectors`` must be 2-d; the result
+    is a 1-d float32 array of length ``len(vectors)``.
+    """
+    query = np.asarray(query, dtype=np.float32)
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2:
+        raise VectorSearchError("batch_distances expects a 2-d vector matrix")
+    _check_dims(query, vectors)
+    if metric is Metric.L2:
+        diff = vectors - query
+        return np.einsum("ij,ij->i", diff, diff)
+    if metric is Metric.IP:
+        return 1.0 - vectors @ query
+    if metric is Metric.COSINE:
+        qn = float(np.linalg.norm(query))
+        vn = np.linalg.norm(vectors, axis=1)
+        denom = vn * qn
+        denom[denom == 0.0] = 1.0
+        sims = (vectors @ query) / denom
+        if qn == 0.0:
+            sims[:] = 0.0
+        return 1.0 - sims
+    raise VectorSearchError(f"unsupported metric: {metric}")
+
+
+def distance(a: np.ndarray, b: np.ndarray, metric: Metric) -> float:
+    """Distance between two single vectors under ``metric``."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    _check_dims(a, b.reshape(1, -1))
+    return float(batch_distances(a, b.reshape(1, -1), metric)[0])
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray, metric: Metric) -> np.ndarray:
+    """All-pairs distance matrix between rows of ``a`` and rows of ``b``.
+
+    Used by ground-truth computation and the similarity-join brute force.
+    Returns a ``(len(a), len(b))`` float32 matrix.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    _check_dims(a, b)
+    if metric is Metric.L2:
+        a_sq = np.einsum("ij,ij->i", a, a)[:, None]
+        b_sq = np.einsum("ij,ij->i", b, b)[None, :]
+        return np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+    if metric is Metric.IP:
+        return 1.0 - a @ b.T
+    if metric is Metric.COSINE:
+        return 1.0 - normalize(a) @ normalize(b).T
+    raise VectorSearchError(f"unsupported metric: {metric}")
+
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], np.ndarray]

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Attribute, AttrType, Metric, TigerVectorDB
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_post_db(segment_size: int = 64, dim: int = 16) -> TigerVectorDB:
+    """A small Post/Person graph with one embedding attribute."""
+    db = TigerVectorDB(segment_size=segment_size)
+    db.schema.create_vertex_type(
+        "Post",
+        [
+            Attribute("id", AttrType.INT, primary_key=True),
+            Attribute("language", AttrType.STRING),
+            Attribute("length", AttrType.INT),
+        ],
+    )
+    db.schema.create_vertex_type(
+        "Person",
+        [
+            Attribute("id", AttrType.INT, primary_key=True),
+            Attribute("firstName", AttrType.STRING),
+        ],
+    )
+    db.schema.create_edge_type("hasCreator", "Post", "Person")
+    db.schema.create_edge_type("knows", "Person", "Person", directed=False)
+    db.schema.add_embedding_attribute(
+        "Post", "content_emb", dimension=dim, model="GPT4", metric=Metric.L2
+    )
+    return db
+
+
+@pytest.fixture
+def post_db():
+    db = make_post_db()
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def loaded_post_db(rng):
+    """Post/Person graph with 200 posts + embeddings, vacuumed."""
+    db = make_post_db()
+    vectors = rng.standard_normal((200, 16)).astype(np.float32)
+    with db.begin() as txn:
+        for i in range(5):
+            txn.upsert_vertex("Person", i, {"firstName": f"P{i}"})
+        for i in range(200):
+            txn.upsert_vertex(
+                "Post", i, {"language": "en" if i % 2 else "fr", "length": 100 + i}
+            )
+            txn.set_embedding("Post", i, "content_emb", vectors[i])
+        for i in range(200):
+            txn.add_edge("hasCreator", i, i % 5)
+        for i in range(4):
+            txn.add_edge("knows", i, i + 1)
+    db.vacuum()
+    db._test_vectors = vectors
+    yield db
+    db.close()

@@ -1,0 +1,175 @@
+"""Tests for the graph algorithm library."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, AttrType, GraphSchema
+from repro.algorithms import (
+    bfs_distances,
+    louvain_communities,
+    pagerank,
+    single_source_shortest_path,
+    weakly_connected_components,
+)
+from repro.algorithms.louvain import louvain_on_adjacency
+from repro.graph.storage import GraphStore
+
+
+@pytest.fixture
+def two_cliques_store():
+    """Two dense 6-cliques joined by a single bridge edge."""
+    schema = GraphSchema()
+    schema.create_vertex_type("V", [Attribute("id", AttrType.INT, primary_key=True)])
+    schema.create_edge_type("e", "V", "V", directed=False)
+    store = GraphStore(schema, segment_size=16)
+    with store.begin() as txn:
+        for i in range(12):
+            txn.upsert_vertex("V", i, {})
+        for lo in (0, 6):
+            for i in range(lo, lo + 6):
+                for j in range(i + 1, lo + 6):
+                    txn.add_edge("e", i, j)
+        txn.add_edge("e", 0, 6)
+    return store
+
+
+def member(store, pk):
+    return ("V", store.vid_for_pk("V", pk))
+
+
+class TestLouvain:
+    def test_two_cliques_found(self, two_cliques_store):
+        store = two_cliques_store
+        with store.snapshot() as snap:
+            communities = louvain_communities(snap, store.schema, ["V"], ["e"])
+        assert len(set(communities.values())) == 2
+        first = {communities[member(store, i)] for i in range(6)}
+        second = {communities[member(store, i)] for i in range(6, 12)}
+        assert len(first) == 1 and len(second) == 1 and first != second
+
+    def test_dense_ids(self, two_cliques_store):
+        store = two_cliques_store
+        with store.snapshot() as snap:
+            communities = louvain_communities(snap, store.schema, ["V"], ["e"])
+        assert set(communities.values()) == {0, 1}
+
+    def test_empty_graph(self):
+        assert louvain_on_adjacency({}) == {}
+
+    def test_singleton_nodes(self):
+        adjacency = {("V", 0): [], ("V", 1): []}
+        out = louvain_on_adjacency(adjacency)
+        assert len(out) == 2
+
+    def test_matches_networkx_modularity_direction(self, two_cliques_store):
+        """Sanity-check quality against networkx's own Louvain."""
+        import networkx as nx
+
+        store = two_cliques_store
+        graph = nx.Graph()
+        with store.snapshot() as snap:
+            for vid in snap.iter_vids("V"):
+                graph.add_node(vid)
+                for t in snap.neighbors("V", vid, "e"):
+                    graph.add_edge(vid, t)
+            ours = louvain_communities(snap, store.schema, ["V"], ["e"])
+        groups: dict[int, set] = {}
+        for (_, vid), cid in ours.items():
+            groups.setdefault(cid, set()).add(vid)
+        our_mod = nx.community.modularity(graph, list(groups.values()))
+        nx_comms = nx.community.louvain_communities(graph, seed=1)
+        nx_mod = nx.community.modularity(graph, nx_comms)
+        assert our_mod >= nx_mod - 0.05
+
+
+class TestPageRank:
+    def test_sums_to_one(self, two_cliques_store):
+        store = two_cliques_store
+        with store.snapshot() as snap:
+            ranks = pagerank(snap, store.schema, ["V"], ["e"])
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_bridge_nodes_rank_higher(self, two_cliques_store):
+        store = two_cliques_store
+        with store.snapshot() as snap:
+            ranks = pagerank(snap, store.schema, ["V"], ["e"])
+        bridge = ranks[member(store, 0)]
+        ordinary = ranks[member(store, 3)]
+        assert bridge > ordinary
+
+    def test_empty(self):
+        from repro.algorithms.pagerank import pagerank_on_adjacency
+
+        assert pagerank_on_adjacency({}) == {}
+
+    def test_dangling_mass_redistributed(self):
+        from repro.algorithms.pagerank import pagerank_on_adjacency
+
+        adjacency = {("V", 0): [("V", 1)], ("V", 1): []}
+        ranks = pagerank_on_adjacency(adjacency, iterations=50)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+        assert ranks[("V", 1)] > ranks[("V", 0)]
+
+
+class TestWCCAndBFS:
+    def test_wcc_two_components(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("V", [Attribute("id", AttrType.INT, primary_key=True)])
+        schema.create_edge_type("e", "V", "V")
+        store = GraphStore(schema, segment_size=8)
+        with store.begin() as txn:
+            for i in range(6):
+                txn.upsert_vertex("V", i, {})
+            txn.add_edge("e", 0, 1)
+            txn.add_edge("e", 1, 2)
+            txn.add_edge("e", 3, 4)
+        with store.snapshot() as snap:
+            comp = weakly_connected_components(snap, store.schema, ["V"], ["e"])
+        assert comp[member(store, 0)] == comp[member(store, 2)]
+        assert comp[member(store, 3)] == comp[member(store, 4)]
+        assert comp[member(store, 0)] != comp[member(store, 3)]
+        assert len(set(comp.values())) == 3  # {0,1,2}, {3,4}, {5}
+
+    def test_bfs_distances(self, two_cliques_store):
+        store = two_cliques_store
+        with store.snapshot() as snap:
+            dist = bfs_distances(snap, store.schema, member(store, 1), ["V"], ["e"])
+        assert dist[member(store, 1)] == 0
+        assert dist[member(store, 0)] == 1
+        assert dist[member(store, 6)] == 2  # via the bridge
+        assert dist[member(store, 9)] == 3
+
+    def test_bfs_max_depth(self, two_cliques_store):
+        store = two_cliques_store
+        with store.snapshot() as snap:
+            dist = bfs_distances(
+                snap, store.schema, member(store, 1), ["V"], ["e"], max_depth=1
+            )
+        assert max(dist.values()) == 1
+
+    def test_shortest_path(self, two_cliques_store):
+        store = two_cliques_store
+        with store.snapshot() as snap:
+            path = single_source_shortest_path(
+                snap, store.schema, member(store, 3), member(store, 9), ["V"], ["e"]
+            )
+        assert path is not None
+        assert path[0] == member(store, 3)
+        assert path[-1] == member(store, 9)
+        assert len(path) == 4  # 3 -> 0 -> 6 -> 9
+
+    def test_unreachable(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("V", [Attribute("id", AttrType.INT, primary_key=True)])
+        schema.create_edge_type("e", "V", "V")
+        store = GraphStore(schema, segment_size=8)
+        with store.begin() as txn:
+            txn.upsert_vertex("V", 0, {})
+            txn.upsert_vertex("V", 1, {})
+        with store.snapshot() as snap:
+            assert (
+                single_source_shortest_path(
+                    snap, store.schema, member(store, 0), member(store, 1), ["V"], ["e"]
+                )
+                is None
+            )

@@ -1,0 +1,130 @@
+"""Tests for the bench harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchScale,
+    bench_scale,
+    format_table,
+    recall_at_k,
+)
+from repro.bench.harness import cached_system, embedding_store_for
+from repro.datasets import make_sift_like
+
+
+class TestRecall:
+    def test_perfect(self):
+        truth = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k([[1, 2, 3], [4, 5, 6]], truth, 3) == 1.0
+
+    def test_partial(self):
+        truth = np.array([[1, 2], [3, 4]])
+        assert recall_at_k([[1, 9], [9, 9]], truth, 2) == 0.25
+
+    def test_order_irrelevant(self):
+        truth = np.array([[1, 2]])
+        assert recall_at_k([[2, 1]], truth, 2) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            recall_at_k([[1]], np.array([[1], [2]]), 1)
+
+    def test_extra_results_ignored(self):
+        truth = np.array([[1, 2, 3, 4]])
+        assert recall_at_k([[1, 2, 99]], truth, 2) == 1.0
+
+
+class TestScale:
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale().name == "small"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        scale = bench_scale()
+        assert scale.name == "smoke"
+        assert scale.vector_count == 2_000
+
+    def test_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_scales_preserve_ratios(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "large")
+        large = bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        small = bench_scale()
+        assert large.vector_count / small.vector_count == 5.0
+        assert large.ldbc_scale_factor > small.ldbc_scale_factor
+
+
+class TestCaching:
+    def test_builds_once_then_loads(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        import importlib
+
+        import repro.bench.harness as harness
+
+        importlib.reload(harness)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"value": 42}
+
+        a = harness.cached_system("k1", builder)
+        b = harness.cached_system("k1", builder)
+        assert a == b == {"value": 42}
+        assert len(calls) == 1
+        importlib.reload(harness)  # restore default cache dir for other tests
+
+    def test_distinct_keys_rebuild(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        import importlib
+
+        import repro.bench.harness as harness
+
+        importlib.reload(harness)
+        assert harness.cached_system("a", lambda: 1) == 1
+        assert harness.cached_system("b", lambda: 2) == 2
+        importlib.reload(harness)
+
+
+class TestEmbeddingStoreHelper:
+    def test_roundtrip_search(self):
+        ds = make_sift_like(300, num_queries=5).with_ground_truth(5)
+        store = embedding_store_for(ds, segment_size=128)
+        assert store.num_segments == 3
+        assert store.live_count() == 300
+        out = store.search_segment(0, ds.vectors[10], 1, snapshot_tid=1, ef=64)
+        assert out.offsets[0] == 10
+
+    def test_store_is_picklable(self):
+        import pickle
+
+        ds = make_sift_like(100, num_queries=2)
+        store = embedding_store_for(ds, segment_size=64)
+        clone = pickle.loads(pickle.dumps(store))
+        out = clone.search_segment(0, ds.vectors[5], 1, snapshot_tid=1, ef=64)
+        assert out.offsets[0] == 5
+
+
+class TestTables:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 0.12345], ["long-name", 1234.5]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.1234" in text or "0.1235" in text
+        assert "1,234" in text or "1,235" in text
+        # header separator aligns with the widest cell
+        assert len(lines[1]) == len(lines[2])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

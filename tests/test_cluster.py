@@ -1,0 +1,167 @@
+"""Tests for the cluster simulation: machines, network, coordinator, loadgen."""
+
+import pytest
+
+from repro.cluster import (
+    ClosedLoopLoadGenerator,
+    ClusterSimulator,
+    NEPTUNE_1024_MNCU,
+    NetworkModel,
+    TIGERVECTOR_N2D,
+    make_cluster,
+)
+from repro.errors import ClusterError
+
+
+class TestMachines:
+    def test_round_robin_placement(self):
+        machines = make_cluster(3, 10)
+        assert [len(m.segments) for m in machines] == [4, 3, 3]
+        assert machines[0].segments == [0, 3, 6, 9]
+
+    def test_invalid_config(self):
+        with pytest.raises(ClusterError):
+            make_cluster(0, 4)
+
+    def test_default_cores_match_paper_hardware(self):
+        machines = make_cluster(1, 1)
+        assert machines[0].cores == 32  # n2d-standard-32
+
+
+class TestNetworkModel:
+    def test_transfer_includes_latency_and_bandwidth(self):
+        net = NetworkModel(latency_seconds=1e-4, bandwidth_bytes_per_second=1e9)
+        assert net.transfer_seconds(0) == pytest.approx(1e-4)
+        assert net.transfer_seconds(10**9) == pytest.approx(1.0 + 1e-4)
+
+    def test_payload_sizes(self):
+        net = NetworkModel()
+        assert net.query_dispatch_bytes(128) == 4 * 128 + 128
+        assert net.result_bytes(10) == 12 * 10 + 64
+
+
+class TestCosts:
+    def test_paper_cost_ratio(self):
+        """Sec 6.2: Neptune hardware is 22.42x more expensive."""
+        ratio = NEPTUNE_1024_MNCU.cost_ratio(TIGERVECTOR_N2D)
+        assert ratio == pytest.approx(22.42, rel=0.01)
+
+    def test_cost_per_million_queries(self):
+        cost = TIGERVECTOR_N2D.dollars_per_million_queries(1000.0)
+        assert cost == pytest.approx(1.37 / 3.6, rel=1e-6)
+        assert TIGERVECTOR_N2D.dollars_per_million_queries(0) == float("inf")
+
+
+class TestClusterSimulator:
+    def segment_times(self, num_segments, each=0.001):
+        return {seg: each for seg in range(num_segments)}
+
+    def test_single_machine_trace(self):
+        sim = ClusterSimulator(make_cluster(1, 4, cores=4))
+        trace = sim.trace(self.segment_times(4))
+        # 4 segments x 1ms on 4 cores ~ 1ms + overheads, no network
+        assert 0.001 < trace.total_seconds < 0.002
+        assert trace.network_seconds == 0.0
+
+    def test_more_machines_cut_latency(self):
+        times = self.segment_times(16, each=0.002)
+        lat = []
+        for n in (1, 2, 4):
+            sim = ClusterSimulator(make_cluster(n, 16, cores=2))
+            lat.append(sim.trace(times).total_seconds)
+        assert lat[0] > lat[1] > lat[2]
+
+    def test_network_hop_charged_for_workers_only(self):
+        times = self.segment_times(2, each=0.001)
+        sim = ClusterSimulator(make_cluster(2, 2, cores=4))
+        trace = sim.trace(times)
+        assert trace.network_seconds > 0
+
+    def test_concurrent_requests_queue(self):
+        sim = ClusterSimulator(make_cluster(1, 1, cores=1))
+        times = {0: 0.01}
+        first = sim.simulate_request(0.0, times)
+        second = sim.simulate_request(0.0, times)
+        assert second > first  # one core: the second request waits
+
+    def test_reset_clears_queues(self):
+        sim = ClusterSimulator(make_cluster(1, 1, cores=1))
+        times = {0: 0.01}
+        a = sim.simulate_request(0.0, times)
+        sim.reset()
+        b = sim.simulate_request(0.0, times)
+        assert a == pytest.approx(b)
+
+    def test_needs_machines(self):
+        with pytest.raises(ClusterError):
+            ClusterSimulator([])
+
+
+class TestLoadGenerator:
+    def test_throughput_scales_with_machines(self):
+        """The fig-9 mechanism: doubling machines nearly doubles QPS."""
+        times = [{seg: 0.004 for seg in range(16)}]
+        qps = []
+        for n in (1, 2, 4):
+            sim = ClusterSimulator(make_cluster(n, 16, cores=8))
+            gen = ClosedLoopLoadGenerator(sim, connections=64)
+            qps.append(gen.run(times, duration_seconds=2.0).qps)
+        assert 1.5 < qps[1] / qps[0] <= 2.2
+        assert 1.5 < qps[2] / qps[1] <= 2.2
+
+    def test_latency_percentiles_ordered(self):
+        sim = ClusterSimulator(make_cluster(2, 8, cores=4))
+        gen = ClosedLoopLoadGenerator(sim, connections=16)
+        out = gen.run([{seg: 0.001 for seg in range(8)}], duration_seconds=1.0)
+        assert out.p50_latency_seconds <= out.p99_latency_seconds
+        assert out.completed > 0
+        assert out.qps > 0
+
+    def test_needs_samples(self):
+        sim = ClusterSimulator(make_cluster(1, 1))
+        gen = ClosedLoopLoadGenerator(sim, connections=1)
+        with pytest.raises(ClusterError):
+            gen.run([], duration_seconds=0.1)
+
+    def test_needs_connections(self):
+        sim = ClusterSimulator(make_cluster(1, 1))
+        with pytest.raises(ClusterError):
+            ClosedLoopLoadGenerator(sim, connections=0)
+
+    def test_samples_cycled(self):
+        """Alternating cheap/expensive samples -> intermediate mean latency."""
+        sim = ClusterSimulator(make_cluster(1, 1, cores=4))
+        gen = ClosedLoopLoadGenerator(sim, connections=1)
+        cheap = {0: 0.001}
+        costly = {0: 0.009}
+        out = gen.run([cheap, costly], duration_seconds=1.0)
+        assert 0.002 < out.mean_latency_seconds < 0.008
+
+
+class TestDistributedSearcher:
+    def test_results_invariant_to_machine_count(self, loaded_post_db):
+        """Local top-k + global merge equals the single-machine answer."""
+        from repro.core.distributed import DistributedSearcher
+
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        q = db._test_vectors[33]
+        with db.snapshot() as snap:
+            results = []
+            for machines in (1, 2, 4):
+                searcher = DistributedSearcher(store, machines)
+                out = searcher.search(q, 5, snapshot_tid=snap.tid, ef=128)
+                results.append(out.result.ids.tolist())
+        assert results[0] == results[1] == results[2]
+
+    def test_measures_per_segment_times(self, loaded_post_db):
+        from repro.core.distributed import DistributedSearcher
+
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        with db.snapshot() as snap:
+            searcher = DistributedSearcher(store, 2)
+            out = searcher.search(db._test_vectors[0], 5, snapshot_tid=snap.tid)
+        assert set(out.segment_seconds) == {0, 1, 2, 3}
+        assert all(t > 0 for t in out.segment_seconds.values())
+        assert set(out.per_machine_seconds) == {0, 1}

@@ -1,0 +1,123 @@
+"""Tests for the TigerVectorDB facade: bulk loading, recovery, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, AttrType, GraphSchema, Metric, TigerVectorDB
+
+
+def make_schema():
+    schema = GraphSchema()
+    schema.create_vertex_type(
+        "Item",
+        [Attribute("id", AttrType.INT, primary_key=True), Attribute("label", AttrType.STRING)],
+    )
+    schema.create_edge_type("rel", "Item", "Item")
+    schema.add_embedding_attribute("Item", "emb", dimension=4, metric=Metric.L2)
+    return schema
+
+
+class TestBulkLoading:
+    def test_bulk_vertices_and_edges(self):
+        db = TigerVectorDB(make_schema(), segment_size=8)
+        n = db.bulk_load_vertices(
+            "Item", ({"id": i, "label": f"x{i}"} for i in range(25)), batch_size=10
+        )
+        assert n == 25
+        m = db.bulk_load_edges("rel", [(i, i + 1) for i in range(24)], batch_size=7)
+        assert m == 24
+        with db.snapshot() as snap:
+            assert snap.count("Item") == 25
+        db.close()
+
+    def test_bulk_embeddings_fast_path(self, rng):
+        db = TigerVectorDB(make_schema(), segment_size=8)
+        db.bulk_load_vertices("Item", ({"id": i} for i in range(30)))
+        vectors = rng.standard_normal((30, 4)).astype(np.float32)
+        db.bulk_load_embeddings("Item", "emb", list(range(30)), vectors)
+        # fast path bypasses deltas: immediately searchable, nothing pending
+        store = db.service.store("Item", "emb")
+        assert store.pending_delta_count() == 0
+        result = db.vector_search(["Item.emb"], vectors[12], k=1)
+        assert next(iter(result)) == ("Item", db.vid_for("Item", 12))
+        db.close()
+
+    def test_bulk_embeddings_requires_vertices(self, rng):
+        db = TigerVectorDB(make_schema())
+        with pytest.raises(KeyError):
+            db.bulk_load_embeddings(
+                "Item", "emb", [1], rng.standard_normal((1, 4))
+            )
+        db.close()
+
+    def test_bulk_embeddings_dimension_checked(self, rng):
+        db = TigerVectorDB(make_schema())
+        db.bulk_load_vertices("Item", [{"id": 1}])
+        with pytest.raises(ValueError):
+            db.bulk_load_embeddings("Item", "emb", [1], rng.standard_normal((1, 7)))
+        db.close()
+
+
+class TestRecovery:
+    def test_full_db_recovery(self, tmp_path, rng):
+        wal = tmp_path / "db.wal"
+        db = TigerVectorDB(make_schema(), segment_size=8, wal_path=wal)
+        vectors = rng.standard_normal((10, 4)).astype(np.float32)
+        with db.begin() as txn:
+            for i in range(10):
+                txn.upsert_vertex("Item", i, {"label": f"v{i}"})
+                txn.set_embedding("Item", i, "emb", vectors[i])
+            txn.add_edge("rel", 0, 1)
+        with db.begin() as txn:
+            txn.delete_vertex("Item", 9)
+        db.close()
+
+        recovered = TigerVectorDB.recover(make_schema(), wal, segment_size=8)
+        recovered.vacuum()
+        with recovered.snapshot() as snap:
+            assert snap.count("Item") == 9
+            v0 = snap.vid_for_pk("Item", 0)
+            assert snap.neighbors("Item", v0, "rel") == [snap.vid_for_pk("Item", 1)]
+        result = recovered.vector_search(["Item.emb"], vectors[4], k=1)
+        assert next(iter(result)) == ("Item", recovered.vid_for("Item", 4))
+        # deleted vertex's embedding is gone too
+        store = recovered.service.store("Item", "emb")
+        assert store.get_embedding(9) is None or not recovered.vid_for("Item", 9)
+        recovered.close()
+
+    def test_recovered_db_accepts_new_writes(self, tmp_path, rng):
+        wal = tmp_path / "db.wal"
+        db = TigerVectorDB(make_schema(), segment_size=8, wal_path=wal)
+        with db.begin() as txn:
+            txn.upsert_vertex("Item", 1, {"label": "a"})
+        db.close()
+        recovered = TigerVectorDB.recover(make_schema(), wal, segment_size=8)
+        with recovered.begin() as txn:
+            txn.upsert_vertex("Item", 2, {"label": "b"})
+            txn.set_embedding("Item", 2, "emb", rng.standard_normal(4))
+        result = recovered.vector_search(
+            ["Item.emb"],
+            recovered.service.store("Item", "emb").get_embedding(
+                recovered.vid_for("Item", 2)
+            ),
+            k=1,
+        )
+        assert next(iter(result))[1] == recovered.vid_for("Item", 2)
+        recovered.close()
+
+
+class TestLifecycle:
+    def test_context_manager(self):
+        with TigerVectorDB(make_schema()) as db:
+            with db.begin() as txn:
+                txn.upsert_vertex("Item", 1, {})
+        # close() ran without error
+
+    def test_pk_vid_mapping(self):
+        db = TigerVectorDB(make_schema())
+        with db.begin() as txn:
+            txn.upsert_vertex("Item", 77, {"label": "x"})
+        vid = db.vid_for("Item", 77)
+        assert db.pk_for("Item", vid) == 77
+        assert db.vid_for("Item", 404) is None
+        db.close()

@@ -1,0 +1,116 @@
+"""Tests for the synthetic dataset generators and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    IC_QUERIES,
+    LDBCConfig,
+    build_ic_query,
+    generate_ldbc,
+    ground_truth,
+    make_deep_like,
+    make_queries,
+    make_sift_like,
+)
+from repro.types import Metric, batch_distances
+
+
+class TestVectorDatasets:
+    def test_sift_like_shape_and_range(self):
+        ds = make_sift_like(500, num_queries=10)
+        assert ds.vectors.shape == (500, 128)
+        assert ds.queries.shape == (10, 128)
+        assert ds.vectors.min() >= 0
+        assert ds.vectors.max() <= 218
+        assert np.allclose(ds.vectors, np.round(ds.vectors))  # integer-valued
+        assert ds.metric is Metric.L2
+
+    def test_deep_like_normalized(self):
+        ds = make_deep_like(300, num_queries=5)
+        assert ds.vectors.shape == (300, 96)
+        norms = np.linalg.norm(ds.vectors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_seeded_determinism(self):
+        a = make_sift_like(100, seed=7)
+        b = make_sift_like(100, seed=7)
+        c = make_sift_like(100, seed=8)
+        assert np.array_equal(a.vectors, b.vectors)
+        assert not np.array_equal(a.vectors, c.vectors)
+
+    def test_ground_truth_blocked_matches_direct(self, rng):
+        ds = make_sift_like(300, num_queries=8)
+        gt = ground_truth(ds.vectors, ds.queries, 5, Metric.L2, block=64)
+        for qi, q in enumerate(ds.queries):
+            dists = batch_distances(q, ds.vectors, Metric.L2)
+            expected = np.argsort(dists, kind="stable")[:5]
+            assert set(gt[qi].tolist()) == set(expected.tolist())
+
+    def test_with_ground_truth_caches(self):
+        ds = make_sift_like(200, num_queries=4)
+        ds.with_ground_truth(10)
+        first = ds.gt_ids
+        ds.with_ground_truth(5)
+        assert ds.gt_ids is first  # wider cache reused
+
+    def test_make_queries(self):
+        ds = make_sift_like(200, num_queries=4)
+        qs = make_queries(ds, 17)
+        assert qs.shape == (17, 128)
+
+
+class TestLDBCGenerator:
+    def test_counts_scale_with_sf(self):
+        small = generate_ldbc(LDBCConfig(scale_factor=1.0, seed=5))
+        big = generate_ldbc(LDBCConfig(scale_factor=3.0, seed=5))
+        assert len(big.persons) == 3 * len(small.persons)
+        assert 2.0 < len(big.posts) / len(small.posts) < 4.0
+
+    def test_structure_consistency(self):
+        data = generate_ldbc(LDBCConfig(scale_factor=0.5))
+        n_person = len(data.persons)
+        assert all(0 <= a < n_person and 0 <= b < n_person for a, b in data.knows)
+        assert all(a != b for a, b in data.knows)
+        assert len(data.post_creator) == len(data.posts)
+        assert len(data.comment_creator) == len(data.comments)
+        assert len(data.reply_of) == len(data.comments)
+        assert data.post_embeddings.shape == (len(data.posts), data.config.embedding_dim)
+
+    def test_power_law_degrees(self):
+        data = generate_ldbc(LDBCConfig(scale_factor=2.0))
+        degree: dict[int, int] = {}
+        for a, b in data.knows:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        degrees = sorted(degree.values(), reverse=True)
+        # heavy tail: max degree much larger than median
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_alice_exists(self):
+        data = generate_ldbc(LDBCConfig(scale_factor=0.5))
+        assert any(p["firstName"] == "Alice" for p in data.persons)
+
+    def test_determinism(self):
+        a = generate_ldbc(LDBCConfig(scale_factor=0.5, seed=3))
+        b = generate_ldbc(LDBCConfig(scale_factor=0.5, seed=3))
+        assert a.knows == b.knows
+        assert np.array_equal(a.post_embeddings, b.post_embeddings)
+
+
+class TestICWorkloads:
+    def test_all_queries_parse(self):
+        from repro.gsql.parser import parse
+
+        for name in IC_QUERIES:
+            for hops in (2, 3, 4):
+                qname, text = build_ic_query(name, hops)
+                (node,) = parse(text)
+                assert node.name == qname
+
+    def test_hop_count_embedded(self):
+        _, text = build_ic_query("IC5", 4)
+        assert "knows*4" in text
+
+    def test_specs_cover_paper_queries(self):
+        assert set(IC_QUERIES) == {"IC3", "IC5", "IC6", "IC9", "IC11"}

@@ -1,0 +1,174 @@
+"""Tests for the vector delta store and the two-stage vacuum."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DELETE, UPSERT, DeltaFile, DeltaRecord, DeltaStore
+from repro.core.vacuum import tune_merge_threads
+from repro.errors import ReproError
+
+
+def rec(action, vid, tid, dim=4):
+    vector = np.full(dim, float(vid), dtype=np.float32) if action == UPSERT else None
+    return DeltaRecord(action, vid, tid, vector)
+
+
+class TestDeltaRecord:
+    def test_schema_fields(self):
+        r = rec(UPSERT, 3, 7)
+        assert (r.action, r.vid, r.tid) == (UPSERT, 3, 7)
+        assert r.vector is not None
+
+    def test_upsert_requires_vector(self):
+        with pytest.raises(ReproError):
+            DeltaRecord(UPSERT, 1, 1, None)
+
+    def test_invalid_action(self):
+        with pytest.raises(ReproError):
+            DeltaRecord("frobnicate", 1, 1, None)
+
+
+class TestDeltaStore:
+    def test_append_and_window(self):
+        store = DeltaStore()
+        store.append([rec(UPSERT, 1, 1), rec(UPSERT, 2, 2), rec(DELETE, 1, 3)])
+        assert len(store) == 3
+        window = store.records_between(1, 2)
+        assert [r.tid for r in window] == [2]
+        assert store.max_tid == 3
+
+    def test_tid_order_enforced(self):
+        store = DeltaStore()
+        store.append([rec(UPSERT, 1, 5)])
+        with pytest.raises(ReproError):
+            store.append([rec(UPSERT, 2, 3)])
+
+    def test_cut_detaches_prefix(self):
+        store = DeltaStore()
+        store.append([rec(UPSERT, i, i + 1) for i in range(5)])
+        dfile = store.cut(3)
+        assert dfile is not None
+        assert [r.tid for r in dfile] == [1, 2, 3]
+        assert dfile.from_tid == 0 and dfile.to_tid == 3
+        assert len(store) == 2
+        assert store.flushed_tid == 3
+
+    def test_cut_nothing_new(self):
+        store = DeltaStore()
+        store.append([rec(UPSERT, 1, 1)])
+        assert store.cut(1) is not None
+        assert store.cut(1) is None
+
+    def test_cut_empty_window_advances_tid(self):
+        store = DeltaStore()
+        assert store.cut(10) is None
+        assert store.flushed_tid == 10
+
+
+class TestDeltaFile:
+    def test_save_load_roundtrip(self, tmp_path):
+        dfile = DeltaFile([rec(UPSERT, 1, 1), rec(DELETE, 2, 2)], 0, 2)
+        path = tmp_path / "x.delta"
+        dfile.save(path)
+        loaded = DeltaFile.load(path)
+        assert len(loaded) == 2
+        assert loaded.from_tid == 0 and loaded.to_tid == 2
+        assert loaded.records[0].action == UPSERT
+        assert np.allclose(loaded.records[0].vector, 1.0)
+        assert loaded.records[1].vector is None
+
+
+class TestThreadTuning:
+    def test_idle_machine_uses_all_threads(self):
+        assert tune_merge_threads(0.0, max_threads=8) == 8
+
+    def test_busy_machine_backs_off(self):
+        assert tune_merge_threads(0.9, max_threads=8) == 1
+
+    def test_half_busy(self):
+        assert tune_merge_threads(0.5, max_threads=8) == 4
+
+    def test_always_at_least_one(self):
+        assert tune_merge_threads(1.0, max_threads=16) == 1
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ValueError):
+            tune_merge_threads(1.5)
+
+
+class TestVacuumEndToEnd:
+    def test_two_stage_vacuum(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        # new updates since the fixture's vacuum
+        with db.begin() as txn:
+            txn.set_embedding("Post", 0, "content_emb", np.ones(16, np.float32))
+            txn.set_embedding("Post", 1, "content_emb", np.ones(16, np.float32) * 2)
+        assert len(store.delta_store) == 2
+        flushed = db.vacuum_manager.delta_merge(store)
+        assert flushed == 2
+        assert len(store.delta_files) == 1
+        assert len(store.delta_store) == 0
+        merged = db.vacuum_manager.index_merge(store)
+        assert merged == 2
+        assert store.delta_files == []
+        # the merged value is served from the index snapshot now
+        assert np.allclose(store.get_embedding(db.vid_for("Post", 0)), 1.0)
+
+    def test_vacuum_stats(self, loaded_post_db):
+        db = loaded_post_db
+        with db.begin() as txn:
+            txn.set_embedding("Post", 5, "content_emb", np.zeros(16, np.float32))
+        db.vacuum()
+        stats = db.vacuum_manager.stats
+        assert stats.delta_merges >= 1
+        assert stats.index_merges >= 1
+        assert stats.records_merged >= 1
+        assert stats.snapshots_installed >= 1
+
+    def test_spill_to_disk(self, tmp_path, rng):
+        from tests.conftest import make_post_db
+
+        db = make_post_db()
+        db.vacuum_manager.spill_dir = tmp_path
+        with db.begin() as txn:
+            txn.upsert_vertex("Post", 1, {})
+            txn.set_embedding("Post", 1, "content_emb", rng.standard_normal(16))
+        store = db.service.store("Post", "content_emb")
+        db.vacuum_manager.delta_merge(store)
+        spilled = list(tmp_path.glob("*.delta"))
+        assert len(spilled) == 1
+        db.vacuum_manager.index_merge(store)
+        assert list(tmp_path.glob("*.delta")) == []  # consumed and removed
+        db.close()
+
+    def test_old_snapshot_still_readable_during_merge(self, loaded_post_db):
+        db = loaded_post_db
+        vectors = db._test_vectors
+        snap = db.snapshot()  # pin the pre-update state
+        with db.begin() as txn:
+            txn.set_embedding("Post", 0, "content_emb", np.ones(16, np.float32) * 9)
+        db.vacuum()
+        store = db.service.store("Post", "content_emb")
+        vid = db.vid_for("Post", 0)
+        old = store.get_embedding(vid, snapshot_tid=snap.tid)
+        assert np.allclose(old, vectors[0])
+        new = store.get_embedding(vid)
+        assert np.allclose(new, 9.0)
+        snap.release()
+
+    def test_background_vacuum_threads(self, loaded_post_db):
+        import time
+
+        db = loaded_post_db
+        db.vacuum_manager.start(delta_interval=0.01, index_interval=0.02)
+        try:
+            with db.begin() as txn:
+                txn.set_embedding("Post", 3, "content_emb", np.ones(16, np.float32))
+            store = db.service.store("Post", "content_emb")
+            deadline = time.time() + 5.0
+            while time.time() < deadline and store.pending_delta_count() > 0:
+                time.sleep(0.02)
+            assert store.pending_delta_count() == 0
+        finally:
+            db.vacuum_manager.stop()

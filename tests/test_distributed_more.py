@@ -1,0 +1,64 @@
+"""More distributed-search tests: MVCC interplay and simulator wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedSearcher
+
+
+class TestDistributedWithUpdates:
+    def test_search_reflects_unmerged_deltas(self, loaded_post_db):
+        """Distributed local searches overlay deltas like local ones do."""
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        target = np.full(16, 77.0, dtype=np.float32)
+        with db.begin() as txn:
+            txn.set_embedding("Post", 123, "content_emb", target)
+        with db.snapshot() as snap:
+            searcher = DistributedSearcher(store, 2)
+            out = searcher.search(target, 1, snapshot_tid=snap.tid, ef=64)
+        assert out.result.ids[0] == db.vid_for("Post", 123)
+
+    def test_old_snapshot_distributed_read(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        vectors = db._test_vectors
+        pinned = db.snapshot()
+        far = np.full(16, -33.0, dtype=np.float32)
+        with db.begin() as txn:
+            txn.set_embedding("Post", 60, "content_emb", far)
+        db.vacuum()
+        searcher = DistributedSearcher(store, 4)
+        # at the pinned snapshot, post 60 is still at its original location
+        out = searcher.search(vectors[60], 1, snapshot_tid=pinned.tid, ef=128)
+        assert out.result.ids[0] == db.vid_for("Post", 60)
+        # at a fresh snapshot it is not
+        with db.snapshot() as snap:
+            out = searcher.search(vectors[60], 1, snapshot_tid=snap.tid, ef=128)
+        assert out.result.ids[0] != db.vid_for("Post", 60)
+        pinned.release()
+
+
+class TestSimulatorWiring:
+    def test_simulator_uses_store_geometry(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        searcher = DistributedSearcher(store, 3)
+        sim = searcher.simulator(k=7)
+        assert sim.k == 7
+        assert sim.dim == 16
+        placed = sorted(s for m in sim.machines for s in m.segments)
+        assert placed == list(range(store.num_segments))
+
+    def test_measure_samples_shapes(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        searcher = DistributedSearcher(store, 2)
+        queries = db._test_vectors[:3]
+        with db.snapshot() as snap:
+            samples, results = searcher.measure_samples(
+                queries, 5, snapshot_tid=snap.tid, ef=64
+            )
+        assert len(samples) == 3 and len(results) == 3
+        assert all(len(r) == 5 for r in results)
+        assert all(set(s) == set(range(4)) for s in samples)

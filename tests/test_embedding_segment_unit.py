@@ -1,0 +1,115 @@
+"""Unit tests for EmbeddingSegment snapshot chains."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DELETE, UPSERT, DeltaRecord
+from repro.core.embedding import EmbeddingType
+from repro.core.segment import EmbeddingSegment
+from repro.errors import ReproError, VectorSearchError
+from repro.types import IndexType, Metric
+
+DIM = 4
+
+
+@pytest.fixture
+def segment():
+    emb = EmbeddingType(name="e", dimension=DIM, metric=Metric.L2, index=IndexType.HNSW)
+    return EmbeddingSegment(emb, seg_no=0, capacity=8)
+
+
+def vec(value):
+    return np.full(DIM, float(value), dtype=np.float32)
+
+
+class TestBulkLoad:
+    def test_populates_vectors_and_index(self, segment):
+        segment.bulk_load(np.array([0, 2, 5]), np.stack([vec(1), vec(2), vec(3)]), tid=1)
+        assert segment.live_count() == 3
+        assert np.allclose(segment.get_vector(2), 2.0)
+        assert segment.get_vector(1) is None
+        result = segment.index.topk_search(vec(3), 1, ef=16)
+        assert result.ids[0] == 5
+
+    def test_offset_bounds_checked(self, segment):
+        with pytest.raises(VectorSearchError):
+            segment.bulk_load(np.array([99]), vec(1).reshape(1, -1), tid=1)
+
+    def test_length_mismatch(self, segment):
+        with pytest.raises(VectorSearchError):
+            segment.bulk_load(np.array([0, 1]), vec(1).reshape(1, -1), tid=1)
+
+
+class TestSnapshotChain:
+    def test_build_next_applies_upserts_and_deletes(self, segment):
+        segment.bulk_load(np.array([0, 1]), np.stack([vec(1), vec(2)]), tid=1)
+        records = [
+            DeltaRecord(UPSERT, 1, 2, vec(9)),
+            DeltaRecord(DELETE, 0, 3, None),
+        ]
+        snapshot = segment.build_next_snapshot(records, new_tid=3, segment_size=8)
+        segment.install_snapshot(snapshot)
+        assert segment.snapshot_tid == 3
+        assert segment.get_vector(0) is None
+        assert np.allclose(segment.get_vector(1), 9.0)
+
+    def test_upsert_then_delete_same_offset(self, segment):
+        segment.bulk_load(np.array([0]), vec(1).reshape(1, -1), tid=1)
+        records = [
+            DeltaRecord(UPSERT, 3, 2, vec(5)),
+            DeltaRecord(DELETE, 3, 3, None),
+        ]
+        snapshot = segment.build_next_snapshot(records, new_tid=3, segment_size=8)
+        assert not snapshot.present[3]
+
+    def test_snapshot_for_old_reader(self, segment):
+        segment.bulk_load(np.array([0]), vec(1).reshape(1, -1), tid=1)
+        new = segment.build_next_snapshot(
+            [DeltaRecord(UPSERT, 0, 5, vec(7))], new_tid=5, segment_size=8
+        )
+        segment.install_snapshot(new)
+        old = segment.snapshot_for(2)
+        assert np.allclose(old.vectors[0], 1.0)
+        fresh = segment.snapshot_for(5)
+        assert np.allclose(fresh.vectors[0], 7.0)
+
+    def test_cannot_install_older(self, segment):
+        segment.bulk_load(np.array([0]), vec(1).reshape(1, -1), tid=5)
+        stale = segment.build_next_snapshot([], new_tid=3, segment_size=8)
+        # build_next_snapshot with no records still carries the new tid; an
+        # explicitly older one must be refused
+        stale.tid = 3
+        with pytest.raises(ReproError):
+            segment.install_snapshot(stale)
+
+    def test_gc_retires_unneeded(self, segment):
+        segment.bulk_load(np.array([0]), vec(1).reshape(1, -1), tid=1)
+        for tid in (2, 3):
+            snap = segment.build_next_snapshot(
+                [DeltaRecord(UPSERT, 0, tid, vec(tid))], new_tid=tid, segment_size=8
+            )
+            segment.install_snapshot(snap)
+        assert len(segment._retired) == 2
+        dropped = segment.gc_snapshots(min_active_snapshot_tid=3)
+        assert dropped == 2
+        assert segment._retired == []
+
+    def test_gc_keeps_reachable(self, segment):
+        segment.bulk_load(np.array([0]), vec(1).reshape(1, -1), tid=1)
+        snap = segment.build_next_snapshot(
+            [DeltaRecord(UPSERT, 0, 5, vec(5))], new_tid=5, segment_size=8
+        )
+        segment.install_snapshot(snap)
+        segment.gc_snapshots(min_active_snapshot_tid=2)
+        # the tid-1 snapshot must survive for the reader pinned at tid 2
+        old = segment.snapshot_for(2)
+        assert np.allclose(old.vectors[0], 1.0)
+
+    def test_index_clone_independent(self, segment):
+        segment.bulk_load(np.array([0, 1]), np.stack([vec(1), vec(2)]), tid=1)
+        new = segment.build_next_snapshot(
+            [DeltaRecord(DELETE, 0, 2, None)], new_tid=2, segment_size=8
+        )
+        # old snapshot's index still sees offset 0; new one does not
+        assert 0 in segment.index
+        assert 0 not in new.index

@@ -1,0 +1,188 @@
+"""Tests for embedding segments, the embedding service, and EmbeddingAction."""
+
+import numpy as np
+import pytest
+
+from repro.core.action import EmbeddingAction
+from repro.index.bitmap import Bitmap
+from repro.types import Metric, batch_distances
+
+
+class TestDecoupledStorage:
+    def test_embeddings_not_in_vertex_rows(self, loaded_post_db):
+        """Decoupling (Sec. 4.2): vertex rows never contain vector values."""
+        db = loaded_post_db
+        with db.snapshot() as snap:
+            row = snap.get_vertex("Post", db.vid_for("Post", 0))
+        assert "content_emb" not in row
+
+    def test_segment_mirrors_vertex_partition(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        # 200 posts / segment_size 64 -> 4 segments on both sides
+        with db.snapshot() as snap:
+            assert snap.num_segments("Post") == 4
+        assert store.num_segments == 4
+        assert store.segment(0).capacity == 64
+
+    def test_get_embedding_roundtrip(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        for pk in (0, 63, 64, 199):  # segment boundaries
+            vid = db.vid_for("Post", pk)
+            assert np.allclose(store.get_embedding(vid), db._test_vectors[pk])
+
+    def test_get_embedding_missing(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        assert store.get_embedding(10_000) is None
+
+    def test_delete_embedding_only(self, loaded_post_db):
+        db = loaded_post_db
+        with db.begin() as txn:
+            txn.delete_embedding("Post", 5, "content_emb")
+        store = db.service.store("Post", "content_emb")
+        assert store.get_embedding(db.vid_for("Post", 5)) is None
+        # the vertex itself is untouched
+        with db.snapshot() as snap:
+            assert snap.vid_for_pk("Post", 5) is not None
+
+    def test_live_count(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        assert store.live_count() == 200
+
+
+class TestMVCCOverlay:
+    def test_unvacuumed_update_visible(self, loaded_post_db):
+        db = loaded_post_db
+        with db.begin() as txn:
+            txn.set_embedding("Post", 7, "content_emb", np.full(16, 3.0, np.float32))
+        store = db.service.store("Post", "content_emb")
+        assert np.allclose(store.get_embedding(db.vid_for("Post", 7)), 3.0)
+
+    def test_unvacuumed_delete_hides(self, loaded_post_db):
+        db = loaded_post_db
+        with db.begin() as txn:
+            txn.delete_embedding("Post", 7, "content_emb")
+        store = db.service.store("Post", "content_emb")
+        assert store.get_embedding(db.vid_for("Post", 7)) is None
+
+    def test_search_combines_index_and_deltas(self, loaded_post_db):
+        """Sec 4.3: queries combine snapshot search with delta brute force."""
+        db = loaded_post_db
+        target = np.full(16, 40.0, np.float32)
+        with db.begin() as txn:
+            txn.set_embedding("Post", 150, "content_emb", target)
+        result = db.vector_search(["Post.content_emb"], target, k=1)
+        assert next(iter(result)) == ("Post", db.vid_for("Post", 150))
+
+    def test_search_excludes_deleted_delta(self, loaded_post_db):
+        db = loaded_post_db
+        vectors = db._test_vectors
+        with db.begin() as txn:
+            txn.delete_embedding("Post", 30, "content_emb")
+        result = db.vector_search(["Post.content_emb"], vectors[30], k=3)
+        assert ("Post", db.vid_for("Post", 30)) not in result
+
+    def test_stale_index_value_not_returned(self, loaded_post_db):
+        """An offset overwritten by a delta must not surface its old vector."""
+        db = loaded_post_db
+        vectors = db._test_vectors
+        far = np.full(16, -50.0, np.float32)
+        with db.begin() as txn:
+            txn.set_embedding("Post", 42, "content_emb", far)
+        # query at the OLD location: post 42 must not be near it anymore
+        result = db.vector_search(["Post.content_emb"], vectors[42], k=5)
+        members = set(result)
+        assert ("Post", db.vid_for("Post", 42)) not in members
+
+
+class TestSegmentSearch:
+    def test_bruteforce_threshold_flip(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        # tiny bitmap -> below threshold -> brute force
+        bitmap = Bitmap.from_offsets(64, [1, 2, 3])
+        with db.snapshot() as snap:
+            out = store.search_segment(
+                0, db._test_vectors[1], 2, snap.tid, bitmap=bitmap, bf_threshold=10
+            )
+        assert out.used_bruteforce
+        assert out.offsets[0] == 1
+
+    def test_index_path_above_threshold(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        with db.snapshot() as snap:
+            out = store.search_segment(
+                0, db._test_vectors[1], 2, snap.tid, bf_threshold=1
+            )
+        assert not out.used_bruteforce
+
+    def test_bruteforce_matches_index(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        q = db._test_vectors[10]
+        with db.snapshot() as snap:
+            bf = store.search_segment(0, q, 5, snap.tid, bf_threshold=10_000)
+            ix = store.search_segment(0, q, 5, snap.tid, ef=256, bf_threshold=0)
+        assert bf.offsets == ix.offsets
+
+
+class TestEmbeddingAction:
+    def test_global_merge_matches_bruteforce(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        q = db._test_vectors[99]
+        action = EmbeddingAction(store)
+        with db.snapshot() as snap:
+            result = action.topk(q, 10, snapshot_tid=snap.tid, ef=256)
+        dists = batch_distances(q, db._test_vectors, Metric.L2)
+        expected = set(np.argsort(dists)[:10].tolist())
+        got = {int(db.pk_for("Post", vid)) for vid, _ in result}
+        assert len(got & expected) >= 9
+
+    def test_stats_segments_touched(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        action = EmbeddingAction(store)
+        with db.snapshot() as snap:
+            action.topk(db._test_vectors[0], 5, snapshot_tid=snap.tid)
+        assert action.last_stats.segments_touched == 4
+
+    def test_empty_bitmap_segments_skipped(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        bitmaps = [Bitmap.empty(64) for _ in range(4)]
+        bitmaps[2] = Bitmap.from_offsets(64, range(10))
+        action = EmbeddingAction(store)
+        with db.snapshot() as snap:
+            result = action.topk(
+                db._test_vectors[0], 5, snapshot_tid=snap.tid, bitmaps=bitmaps
+            )
+        assert action.last_stats.segments_touched == 1
+        # results come only from segment 2 (vids 128..137)
+        assert all(128 <= vid < 138 for vid, _ in result)
+
+    def test_range_action(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        q = db._test_vectors[0]
+        action = EmbeddingAction(store)
+        with db.snapshot() as snap:
+            result = action.range(q, threshold=10.0, snapshot_tid=snap.tid, ef=256)
+        dists = batch_distances(q, db._test_vectors, Metric.L2)
+        exact = set(np.flatnonzero(dists < 10.0).tolist())
+        got = {int(db.pk_for("Post", vid)) for vid, _ in result}
+        assert got.issubset(exact)
+        assert len(got) >= 0.8 * len(exact)
+
+    def test_invalid_k(self, loaded_post_db):
+        from repro.errors import VectorSearchError
+
+        db = loaded_post_db
+        action = EmbeddingAction(db.service.store("Post", "content_emb"))
+        with pytest.raises(VectorSearchError):
+            with db.snapshot() as snap:
+                action.topk(np.zeros(16, np.float32), 0, snapshot_tid=snap.tid)

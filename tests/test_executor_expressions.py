@@ -1,0 +1,138 @@
+"""Tests for GSQL expression evaluation details."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GSQLSemanticError
+from repro.gsql.executor import ExecutionContext, eval_expr
+from repro.gsql.parser import parse_expression
+
+
+@pytest.fixture
+def ctx(loaded_post_db):
+    with loaded_post_db.snapshot() as snap:
+        yield ExecutionContext(db=loaded_post_db, snapshot=snap)
+
+
+def ev(ctx, text, env=None, **vars):
+    ctx.vars.update(vars)
+    return eval_expr(parse_expression(text), ctx, env)
+
+
+class TestScalars:
+    def test_arithmetic(self, ctx):
+        assert ev(ctx, "1 + 2 * 3 - 4 / 2") == 5.0
+        assert ev(ctx, "7 % 3") == 1
+        assert ev(ctx, "-(2 + 3)") == -5
+
+    def test_comparisons(self, ctx):
+        assert ev(ctx, "3 < 4") is True
+        assert ev(ctx, "3 >= 4") is False
+        assert ev(ctx, '"a" != "b"') is True
+
+    def test_boolean_short_circuit(self, ctx):
+        # the right side would raise (unknown var) if evaluated
+        assert ev(ctx, "FALSE AND nonexistent") is False
+        assert ev(ctx, "TRUE OR nonexistent") is True
+
+    def test_in_operator(self, ctx):
+        assert ev(ctx, "2 IN [1, 2, 3]") is True
+        assert ev(ctx, "9 IN [1, 2, 3]") is False
+
+    def test_params(self, ctx):
+        assert ev(ctx, "x * 2", x=21) == 42
+
+    def test_unknown_variable(self, ctx):
+        with pytest.raises(GSQLSemanticError, match="unknown variable"):
+            ev(ctx, "ghost")
+
+
+class TestVertexContext:
+    def test_attr_ref_via_env(self, ctx, loaded_post_db):
+        env = {"p": ("Post", loaded_post_db.vid_for("Post", 7))}
+        assert ev(ctx, "p.length", env=env) == 107
+        assert ev(ctx, 'p.language == "en"', env=env) is True
+
+    def test_embedding_attr_access(self, ctx, loaded_post_db):
+        env = {"p": ("Post", loaded_post_db.vid_for("Post", 3))}
+        vec = ev(ctx, "p.content_emb", env=env)
+        assert np.allclose(vec, loaded_post_db._test_vectors[3])
+
+    def test_unknown_attr(self, ctx, loaded_post_db):
+        env = {"p": ("Post", 0)}
+        with pytest.raises(GSQLSemanticError, match="no attribute"):
+            ev(ctx, "p.bogus", env=env)
+
+    def test_runtime_attr_resolution(self, ctx):
+        ctx.set_runtime_attr(("Post", 0), "cid", 5)
+        env = {"p": ("Post", 0)}
+        assert ev(ctx, "p.cid", env=env) == 5
+
+    def test_vertex_in_set(self, ctx, loaded_post_db):
+        from repro.graph.vertex_set import VertexSet
+
+        vid = loaded_post_db.vid_for("Post", 1)
+        ctx.vars["S"] = VertexSet([("Post", vid)])
+        env = {"p": ("Post", vid)}
+        assert ev(ctx, "p IN S", env=env) is True
+
+    def test_vector_dist_between_env_vertices(self, ctx, loaded_post_db):
+        db = loaded_post_db
+        env = {
+            "a": ("Post", db.vid_for("Post", 0)),
+            "b": ("Post", db.vid_for("Post", 1)),
+        }
+        dist = ev(ctx, "VECTOR_DIST(a.content_emb, b.content_emb)", env=env)
+        from repro.types import Metric, distance
+
+        expected = distance(db._test_vectors[0], db._test_vectors[1], Metric.L2)
+        assert dist == pytest.approx(expected, rel=1e-4)
+
+    def test_vector_dist_with_literal(self, ctx, loaded_post_db):
+        db = loaded_post_db
+        env = {"a": ("Post", db.vid_for("Post", 0))}
+        zeros = "[" + ", ".join("0.0" for _ in range(16)) + "]"
+        dist = ev(ctx, f"VECTOR_DIST(a.content_emb, {zeros})", env=env)
+        assert dist == pytest.approx(float(np.sum(db._test_vectors[0] ** 2)), rel=1e-4)
+
+
+class TestBuiltins:
+    def test_split(self, ctx):
+        out = ev(ctx, 'split("1.5:2.5:3", ":")')
+        assert np.allclose(out, [1.5, 2.5, 3.0])
+
+    def test_size_and_count(self, ctx):
+        assert ev(ctx, "size([1,2,3])") == 3
+        assert ev(ctx, "count([1])") == 1
+
+    def test_math(self, ctx):
+        assert ev(ctx, "abs(-3)") == 3
+        assert ev(ctx, "sqrt(16)") == 4
+        assert ev(ctx, "floor(2.7)") == 2
+        assert ev(ctx, "ceil(2.1)") == 3
+
+    def test_string_helpers(self, ctx):
+        assert ev(ctx, 'upper("ab")') == "AB"
+        assert ev(ctx, 'lower("AB")') == "ab"
+        assert ev(ctx, "to_string(7)") == "7"
+
+    def test_unknown_function(self, ctx):
+        with pytest.raises(GSQLSemanticError, match="unknown function"):
+            ev(ctx, "frobnicate(1)")
+
+
+class TestSetOps:
+    def test_union_requires_sets(self, ctx):
+        ctx.vars["A"] = 1
+        ctx.vars["B"] = 2
+        with pytest.raises(GSQLSemanticError):
+            ev(ctx, "A UNION B")
+
+    def test_set_algebra(self, ctx):
+        from repro.graph.vertex_set import VertexSet
+
+        ctx.vars["A"] = VertexSet([("P", 1), ("P", 2)])
+        ctx.vars["B"] = VertexSet([("P", 2)])
+        assert len(ev(ctx, "A UNION B")) == 2
+        assert len(ev(ctx, "A INTERSECT B")) == 1
+        assert len(ev(ctx, "A MINUS B")) == 1

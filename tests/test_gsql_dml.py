@@ -1,0 +1,112 @@
+"""Tests for GSQL DML: INSERT INTO / DELETE FROM."""
+
+import numpy as np
+import pytest
+
+from repro import TigerVectorDB
+from repro.errors import GSQLSemanticError
+
+
+@pytest.fixture
+def db():
+    db = TigerVectorDB(segment_size=16)
+    db.run_gsql(
+        """
+        CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING, score INT);
+        CREATE DIRECTED EDGE refs (FROM Doc, TO Doc);
+        ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (DIMENSION = 4, METRIC = L2);
+        """
+    )
+    yield db
+    db.close()
+
+
+class TestInsertVertex:
+    def test_positional_attributes(self, db):
+        db.run_gsql('INSERT INTO Doc VALUES (1, "alpha", 7);')
+        with db.snapshot() as snap:
+            vid = snap.vid_for_pk("Doc", 1)
+            assert snap.get_attr("Doc", vid, "title") == "alpha"
+            assert snap.get_attr("Doc", vid, "score") == 7
+
+    def test_trailing_embedding_value(self, db):
+        db.run_gsql('INSERT INTO Doc VALUES (2, "b", 0, [1.0, 2.0, 3.0, 4.0]);')
+        store = db.service.store("Doc", "emb")
+        assert np.allclose(
+            store.get_embedding(db.vid_for("Doc", 2)), [1, 2, 3, 4]
+        )
+
+    def test_partial_values_ok(self, db):
+        db.run_gsql("INSERT INTO Doc VALUES (3);")
+        with db.snapshot() as snap:
+            assert snap.vid_for_pk("Doc", 3) is not None
+
+    def test_too_many_values_rejected(self, db):
+        with pytest.raises(GSQLSemanticError):
+            db.run_gsql('INSERT INTO Doc VALUES (1, "a", 1, [1,2,3,4], [5,6,7,8]);')
+
+    def test_insert_with_params(self, db):
+        db.run_gsql("INSERT INTO Doc VALUES (pk, name, 0);", pk=9, name="param")
+        with db.snapshot() as snap:
+            vid = snap.vid_for_pk("Doc", 9)
+            assert snap.get_attr("Doc", vid, "title") == "param"
+
+    def test_upsert_semantics(self, db):
+        db.run_gsql('INSERT INTO Doc VALUES (1, "v1", 1);')
+        db.run_gsql('INSERT INTO Doc VALUES (1, "v2", 2);')
+        with db.snapshot() as snap:
+            assert snap.count("Doc") == 1
+            vid = snap.vid_for_pk("Doc", 1)
+            assert snap.get_attr("Doc", vid, "title") == "v2"
+
+
+class TestInsertEdge:
+    def test_edge(self, db):
+        db.run_gsql('INSERT INTO Doc VALUES (1, "a", 0); INSERT INTO Doc VALUES (2, "b", 0);')
+        db.run_gsql("INSERT INTO EDGE refs VALUES (1, 2);")
+        with db.snapshot() as snap:
+            v1 = snap.vid_for_pk("Doc", 1)
+            assert snap.degree("Doc", v1, "refs") == 1
+
+    def test_arity_checked(self, db):
+        with pytest.raises(GSQLSemanticError):
+            db.run_gsql("INSERT INTO EDGE refs VALUES (1);")
+
+
+class TestDelete:
+    def seed(self, db):
+        for i in range(6):
+            db.run_gsql(f'INSERT INTO Doc VALUES ({i}, "d{i}", {i * 10});')
+
+    def test_delete_with_predicate(self, db):
+        self.seed(db)
+        n = db.run_gsql("DELETE FROM Doc d WHERE d.score >= 30;").result
+        assert n == 3
+        with db.snapshot() as snap:
+            assert snap.count("Doc") == 3
+
+    def test_delete_all(self, db):
+        self.seed(db)
+        n = db.run_gsql("DELETE FROM Doc;").result
+        assert n == 6
+        with db.snapshot() as snap:
+            assert snap.count("Doc") == 0
+
+    def test_delete_cascades_embeddings(self, db):
+        db.run_gsql('INSERT INTO Doc VALUES (1, "a", 0, [1.0, 1, 1, 1]);')
+        store = db.service.store("Doc", "emb")
+        vid = db.vid_for("Doc", 1)
+        assert store.get_embedding(vid) is not None
+        db.run_gsql("DELETE FROM Doc d WHERE d.id == 1;")
+        assert store.get_embedding(vid) is None
+
+    def test_deleted_not_searchable(self, db):
+        db.run_gsql('INSERT INTO Doc VALUES (1, "a", 0, [9.0, 9, 9, 9]);')
+        db.run_gsql('INSERT INTO Doc VALUES (2, "b", 0, [1.0, 1, 1, 1]);')
+        db.vacuum()
+        db.run_gsql("DELETE FROM Doc d WHERE d.id == 1;")
+        r = db.run_gsql(
+            "SELECT s FROM (s:Doc) ORDER BY VECTOR_DIST(s.emb, [9.0,9,9,9]) LIMIT 1;"
+        )
+        (vtype, vid), _ = r.result.ranking[0]
+        assert db.pk_for(vtype, vid) == 2

@@ -1,0 +1,210 @@
+"""Tests for GSQL execution: all the query shapes from the paper's Sec. 5."""
+
+import numpy as np
+import pytest
+
+from repro import RankedVertexSet, VertexSet
+from repro.errors import GSQLSemanticError
+from repro.types import batch_distances, Metric
+
+
+class TestPureVectorSearch:
+    def test_paper_query_51(self, loaded_post_db):
+        """Sec 5.1: SELECT s FROM (s:Post) ORDER BY VECTOR_DIST ... LIMIT k."""
+        db = loaded_post_db
+        q = db._test_vectors[30]
+        r = db.run_gsql(
+            "SELECT s FROM (s:Post) "
+            "ORDER BY VECTOR_DIST(s.content_emb, query_vector) LIMIT k;",
+            query_vector=q.tolist(), k=5,
+        )
+        assert isinstance(r.result, RankedVertexSet)
+        assert len(r.result) == 5
+        best_member, best_dist = r.result.ranking[0]
+        assert best_member == ("Post", db.vid_for("Post", 30))
+        assert best_dist == pytest.approx(0.0, abs=1e-3)
+
+    def test_plan_matches_paper(self, loaded_post_db):
+        plan = loaded_post_db.gsql.explain(
+            "SELECT s FROM (s:Post) "
+            "ORDER BY VECTOR_DIST(s.content_emb, query_vector) LIMIT k;"
+        )
+        assert plan == "EmbeddingAction[Top k, {s.content_emb}, query_vector]"
+
+    def test_matches_exact_search(self, loaded_post_db):
+        db = loaded_post_db
+        q = np.zeros(16, dtype=np.float32)
+        r = db.run_gsql(
+            "SELECT s FROM (s:Post) "
+            "ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT 10;",
+            qv=q.tolist(),
+        )
+        dists = batch_distances(q, db._test_vectors, Metric.L2)
+        exact = {int(i) for i in np.argsort(dists)[:10]}
+        got = {int(db.pk_for("Post", vid)) for (_, vid), _ in r.result.ranking}
+        assert len(got & exact) >= 9
+
+
+class TestFilteredVectorSearch:
+    def test_paper_query_52(self, loaded_post_db):
+        """Sec 5.2: attribute filter + top-k (pre-filter approach)."""
+        db = loaded_post_db
+        r = db.run_gsql(
+            'SELECT s FROM (s:Post) WHERE s.language = "en" '
+            "ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT 8;",
+            qv=db._test_vectors[3].tolist(),
+        )
+        pks = [db.pk_for("Post", vid) for (_, vid), _ in r.result.ranking]
+        assert len(pks) == 8
+        assert all(pk % 2 == 1 for pk in pks)  # "en" posts are odd pks
+
+    def test_plan_shows_prefilter(self, loaded_post_db):
+        plan = loaded_post_db.gsql.explain(
+            'SELECT s FROM (s:Post) WHERE s.language = "en" '
+            "ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT 8;"
+        )
+        lines = plan.splitlines()
+        assert lines[0].startswith("EmbeddingAction[Top 8")
+        assert "VertexAction[Post:s {s.language = 'en'}]" in lines[1]
+
+    def test_numeric_filter(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql(
+            "SELECT s FROM (s:Post) WHERE s.length > 250 "
+            "ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT 5;",
+            qv=db._test_vectors[0].tolist(),
+        )
+        pks = [db.pk_for("Post", vid) for (_, vid), _ in r.result.ranking]
+        assert all(pk > 150 for pk in pks)  # length = 100 + pk
+
+    def test_empty_filter_result(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql(
+            'SELECT s FROM (s:Post) WHERE s.language = "zz" '
+            "ORDER BY VECTOR_DIST(s.content_emb, qv) LIMIT 5;",
+            qv=db._test_vectors[0].tolist(),
+        )
+        assert len(r.result) == 0
+
+
+class TestRangeSearch:
+    def test_paper_range_query(self, loaded_post_db):
+        db = loaded_post_db
+        q = db._test_vectors[12]
+        r = db.run_gsql(
+            "SELECT s FROM (s:Post) "
+            "WHERE VECTOR_DIST(s.content_emb, qv) < threshold;",
+            qv=q.tolist(), threshold=8.0,
+        )
+        dists = dict(r.result.ranking)
+        assert all(d < 8.0 for d in dists.values())
+        assert ("Post", db.vid_for("Post", 12)) in r.result
+
+    def test_range_with_attribute_filter(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql(
+            'SELECT s FROM (s:Post) WHERE s.language = "fr" AND '
+            "VECTOR_DIST(s.content_emb, qv) < 20.0;",
+            qv=db._test_vectors[2].tolist(),
+        )
+        pks = [db.pk_for("Post", vid) for (_, vid), _ in r.result.ranking]
+        assert all(pk % 2 == 0 for pk in pks)
+
+
+class TestGraphPatternVectorSearch:
+    def test_paper_query_53(self, loaded_post_db):
+        """Sec 5.3: vector search constrained by a 2-hop graph pattern."""
+        db = loaded_post_db
+        r = db.run_gsql(
+            "SELECT t FROM (s:Person) - [:knows] -> (:Person) "
+            "<- [:hasCreator] - (t:Post) "
+            'WHERE s.firstName = "P0" AND t.length > 120 '
+            "ORDER BY VECTOR_DIST(t.content_emb, qv) LIMIT 5;",
+            qv=db._test_vectors[50].tolist(),
+        )
+        # P0 knows P1 (undirected chain); posts by P1 have pk % 5 == 1
+        pks = [db.pk_for("Post", vid) for (_, vid), _ in r.result.ranking]
+        assert pks
+        assert all(pk % 5 == 1 and pk > 20 for pk in pks)
+        assert r.metrics["num_candidates"] > 0
+        assert "vector_seconds" in r.metrics
+
+    def test_multi_hop_expands_candidates(self, loaded_post_db):
+        db = loaded_post_db
+        counts = []
+        for hops in (1, 2):
+            r = db.run_gsql(
+                f"SELECT t FROM (s:Person) - [:knows*{hops}] -> (:Person) "
+                "<- [:hasCreator] - (t:Post) "
+                'WHERE s.firstName = "P0" '
+                "ORDER BY VECTOR_DIST(t.content_emb, qv) LIMIT 3;",
+                qv=db._test_vectors[0].tolist(),
+            )
+            counts.append(r.metrics["num_candidates"])
+        assert counts[0] <= counts[1]
+
+
+class TestSimilarityJoin:
+    def test_paper_query_54(self, loaded_post_db):
+        """Sec 5.4: top-k closest (s, t) pairs over a graph pattern."""
+        db = loaded_post_db
+        r = db.run_gsql(
+            "SELECT s, t FROM (s:Post) - [:hasCreator] -> (u:Person) "
+            "<- [:hasCreator] - (t:Post) "
+            'WHERE u.firstName = "P2" '
+            "ORDER BY VECTOR_DIST(s.content_emb, t.content_emb) LIMIT 4;"
+        )
+        rows = r.result
+        assert len(rows) == 4
+        assert all(row["s"].pk % 5 == 2 and row["t"].pk % 5 == 2 for row in rows)
+        dists = [row["distance"] for row in rows]
+        assert dists == sorted(dists)
+        assert all(row["s"] != row["t"] for row in rows)
+
+    def test_join_is_exact(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql(
+            "SELECT s, t FROM (s:Post) - [:hasCreator] -> (u:Person) "
+            "<- [:hasCreator] - (t:Post) "
+            'WHERE u.firstName = "P1" '
+            "ORDER BY VECTOR_DIST(s.content_emb, t.content_emb) LIMIT 1;"
+        )
+        # brute-force the same answer
+        pks = [pk for pk in range(200) if pk % 5 == 1]
+        vecs = db._test_vectors
+        best = min(
+            (float(batch_distances(vecs[a], vecs[b].reshape(1, -1), Metric.L2)[0]), a, b)
+            for a in pks for b in pks if a != b
+        )
+        row = r.result[0]
+        assert {row["s"].pk, row["t"].pk} == {best[1], best[2]}
+        assert row["distance"] == pytest.approx(best[0], rel=1e-3)
+
+
+class TestGraphBlocks:
+    def test_plain_block_returns_vertex_set(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql('SELECT p FROM (p:Person) WHERE p.firstName = "P3";')
+        assert isinstance(r.result, VertexSet)
+        assert r.result.members() == {("Person", db.vid_for("Person", 3))}
+
+    def test_order_by_attribute_limit(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql("SELECT s FROM (s:Post) ORDER BY s.length DESC LIMIT 3;")
+        pks = sorted(db.pk_for("Post", vid) for _, vid in r.result)
+        assert pks == [197, 198, 199]
+
+    def test_unknown_alias_rejected(self, loaded_post_db):
+        with pytest.raises(GSQLSemanticError):
+            loaded_post_db.run_gsql("SELECT zz FROM (s:Post);")
+
+    def test_unknown_label_rejected(self, loaded_post_db):
+        with pytest.raises(GSQLSemanticError):
+            loaded_post_db.run_gsql("SELECT s FROM (s:Nope);")
+
+    def test_unknown_embedding_rejected(self, loaded_post_db):
+        with pytest.raises(GSQLSemanticError):
+            loaded_post_db.run_gsql(
+                "SELECT s FROM (s:Post) "
+                "ORDER BY VECTOR_DIST(s.nope, qv) LIMIT 1;", qv=[0.0] * 16
+            )

@@ -1,0 +1,254 @@
+"""Tests for the GSQL lexer and parser."""
+
+import pytest
+
+from repro.errors import GSQLLexError, GSQLParseError
+from repro.gsql import ast_nodes as ast
+from repro.gsql.lexer import tokenize
+from repro.gsql.parser import parse, parse_expression
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.is_kw("SELECT") for t in tokens[:3])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("TopKPosts")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "TopKPosts"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 2.5e-2")
+        assert [t.kind for t in tokens[:4]] == ["INT", "FLOAT", "FLOAT", "FLOAT"]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r'"a\"b" ' + r"'c\nd'")
+        assert tokens[0].value == 'a"b'
+        assert tokens[1].value == "c\nd"
+
+    def test_unterminated_string(self):
+        with pytest.raises(GSQLLexError):
+            tokenize('"oops')
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a -- comment\n b /* block\n comment */ c")
+        assert [t.value for t in tokens[:3]] == ["a", "b", "c"]
+
+    def test_arrows_and_accum_ops(self):
+        tokens = tokenize("-> <- @@x @y +=")
+        assert tokens[0].is_op("->")
+        assert tokens[1].is_op("<-")
+        assert tokens[2].is_op("@@")
+        assert tokens[4].is_op("@")
+        assert tokens[6].is_op("+=")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(GSQLLexError):
+            tokenize("a § b")
+
+
+class TestDDLParsing:
+    def test_create_vertex(self):
+        (node,) = parse("CREATE VERTEX Post (id INT PRIMARY KEY, body STRING);")
+        assert isinstance(node, ast.CreateVertex)
+        assert node.attributes[0].primary_key
+        assert node.attributes[1].type_name == "STRING"
+
+    def test_create_edges(self):
+        nodes = parse(
+            "CREATE DIRECTED EDGE a (FROM X, TO Y);"
+            "CREATE UNDIRECTED EDGE b (FROM X, TO X);"
+        )
+        assert nodes[0].directed and not nodes[1].directed
+
+    def test_embedding_attribute_options(self):
+        (node,) = parse(
+            "ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE e "
+            "(DIMENSION = 1024, MODEL = GPT4, INDEX = HNSW, "
+            "DATATYPE = FLOAT, METRIC = COSINE);"
+        )
+        assert node.options["DIMENSION"] == 1024
+        assert node.options["MODEL"] == "GPT4"
+
+    def test_embedding_space(self):
+        nodes = parse(
+            "CREATE EMBEDDING SPACE s (DIMENSION = 64, MODEL = m);"
+            "ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE e IN EMBEDDING SPACE s;"
+        )
+        assert isinstance(nodes[0], ast.CreateEmbeddingSpace)
+        assert nodes[1].space == "s"
+
+    def test_loading_job(self):
+        (node,) = parse(
+            "CREATE LOADING JOB j FOR GRAPH g {"
+            " LOAD f1 TO VERTEX Post VALUES (id, body);"
+            " LOAD f2 TO EMBEDDING ATTRIBUTE e ON VERTEX Post"
+            "   VALUES (id, split(emb, \":\"));"
+            "}"
+        )
+        assert isinstance(node, ast.CreateLoadingJob)
+        assert node.loads[0].target_kind == "vertex"
+        assert node.loads[1].target_kind == "embedding"
+        assert node.loads[1].vertex_type == "Post"
+
+
+class TestPatternParsing:
+    def get_pattern(self, text):
+        (block,) = parse(text)
+        return block.pattern
+
+    def test_single_node(self):
+        p = self.get_pattern("SELECT s FROM (s:Post);")
+        assert p.nodes[0].alias == "s"
+        assert p.nodes[0].label == "Post"
+        assert p.edges == []
+
+    def test_multi_hop_mixed_directions(self):
+        p = self.get_pattern(
+            "SELECT t FROM (s:Person) - [:knows] -> (:Person) "
+            "<- [:hasCreator] - (t:Post);"
+        )
+        assert [e.direction for e in p.edges] == ["out", "in"]
+        assert p.nodes[1].alias is None
+        assert p.nodes[2].alias == "t"
+
+    def test_repeat_hops(self):
+        p = self.get_pattern("SELECT t FROM (s:Person) -[:knows*3]-> (t:Person);")
+        assert p.edges[0].repeat == 3
+
+    def test_edge_alias_ignored(self):
+        p = self.get_pattern("SELECT t FROM (s:Person) <-[e:hasCreator]- (t:Post);")
+        assert p.edges[0].edge_type == "hasCreator"
+
+    def test_undirected_edge(self):
+        p = self.get_pattern("SELECT t FROM (s:Person) -[:knows]- (t:Person);")
+        assert p.edges[0].direction == "any"
+
+
+class TestSelectParsing:
+    def test_where_order_limit(self):
+        (block,) = parse(
+            'SELECT s FROM (s:Post) WHERE s.lang = "en" '
+            "ORDER BY VECTOR_DIST(s.emb, q) LIMIT k;"
+        )
+        assert isinstance(block.where, ast.BinaryOp)
+        assert block.where.op == "=="
+        assert isinstance(block.order_by.expr, ast.FuncCall)
+        assert isinstance(block.limit, ast.VarRef)
+
+    def test_order_desc(self):
+        (block,) = parse("SELECT s FROM (s:Post) ORDER BY s.date DESC LIMIT 5;")
+        assert not block.order_by.ascending
+
+    def test_accum_clause(self):
+        (block,) = parse("SELECT t FROM (t:Post) ACCUM @@n += 1, @@s += t.len;")
+        assert len(block.accum) == 2
+        assert block.accum[0].target.name == "n"
+
+    def test_post_accum_clause(self):
+        (block,) = parse("SELECT t FROM (t:Post) POST-ACCUM @@n += 1;")
+        assert len(block.post_accum) == 1
+
+    def test_multi_select(self):
+        (block,) = parse(
+            "SELECT s, t FROM (s:A) -[:e]-> (t:B) "
+            "ORDER BY VECTOR_DIST(s.emb, t.emb) LIMIT 3;"
+        )
+        assert block.select == ["s", "t"]
+
+
+class TestProcedureParsing:
+    def test_params_and_accums(self):
+        (proc,) = parse(
+            "CREATE QUERY q(List<FLOAT> v, INT k) {"
+            " SumAccum<INT> @@n;"
+            " Map<VERTEX, FLOAT> @@m;"
+            " HeapAccum<FLOAT>(5) @@h;"
+            " PRINT @@n;"
+            "}"
+        )
+        assert [p.name for p in proc.params] == ["v", "k"]
+        assert [d.kind for d in proc.accum_decls] == ["SumAccum", "Map", "HeapAccum"]
+        assert proc.accum_decls[2].ctor_args[0].value == 5
+
+    def test_control_flow(self):
+        (proc,) = parse(
+            "CREATE QUERY q() {"
+            " SumAccum<INT> @@n;"
+            " FOREACH i IN RANGE[0, 3] DO @@n += i; END;"
+            " WHILE @@n < 100 LIMIT 5 DO @@n += 10; END;"
+            " IF @@n >= 50 THEN PRINT \"big\"; ELSE PRINT \"small\"; END;"
+            "}"
+        )
+        kinds = [type(s).__name__ for s in proc.body]
+        assert kinds == ["ForeachStmt", "WhileStmt", "IfStmt"]
+
+    def test_vector_search_call(self):
+        (proc,) = parse(
+            "CREATE QUERY q(List<FLOAT> v, INT k) {"
+            " Map<VERTEX, FLOAT> @@d;"
+            " Top = VectorSearch({Post.emb, Comment.emb}, v, k,"
+            "   {filter: Cands, ef: 200, distanceMap: @@d});"
+            " PRINT Top;"
+            "}"
+        )
+        assign = proc.body[0]
+        call = assign.value
+        assert isinstance(call, ast.FuncCall)
+        assert isinstance(call.args[0], ast.VectorAttrSet)
+        assert [a.qualified for a in call.args[0].attrs] == ["Post.emb", "Comment.emb"]
+        opts = {e.key: e.value for e in call.args[3].entries}
+        assert isinstance(opts["distanceMap"], ast.AccumRef)
+
+    def test_set_operators(self):
+        (proc,) = parse("CREATE QUERY q() { C = A UNION B; D = A INTERSECT B; E = A MINUS B; }")
+        assert [s.value.op for s in proc.body] == ["UNION", "INTERSECT", "MINUS"]
+
+    def test_accum_decls_must_precede_statements(self):
+        with pytest.raises(GSQLParseError):
+            parse("CREATE QUERY q() { PRINT 1; SumAccum<INT> @@n; }")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.BinaryOp) and e.op == "+"
+        assert e.right.op == "*"
+
+    def test_and_or_not(self):
+        e = parse_expression("NOT a AND b OR c")
+        assert e.op == "OR"
+        assert e.left.op == "AND"
+        assert isinstance(e.left.left, ast.UnaryOp)
+
+    def test_comparison_normalization(self):
+        assert parse_expression("a = b").op == "=="
+        assert parse_expression("a <> b").op == "!="
+
+    def test_list_literal(self):
+        e = parse_expression("[1, 2.5, \"x\"]")
+        assert [i.value for i in e.items] == [1, 2.5, "x"]
+
+    def test_unary_minus(self):
+        e = parse_expression("-5")
+        assert isinstance(e, ast.UnaryOp)
+
+    def test_vertex_accum_ref(self):
+        e = parse_expression("s.@cnt")
+        assert isinstance(e, ast.AccumRef)
+        assert e.alias == "s" and not e.is_global
+
+    def test_trailing_garbage(self):
+        with pytest.raises(GSQLParseError):
+            parse_expression("1 2")
+
+    def test_parse_error_has_location(self):
+        with pytest.raises(GSQLParseError) as err:
+            parse("SELECT FROM;")
+        assert err.value.line == 1

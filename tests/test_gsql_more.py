@@ -1,0 +1,160 @@
+"""Additional GSQL behaviour tests: edge cases across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import RankedVertexSet, TigerVectorDB, VertexSet
+from repro.errors import GSQLParseError, GSQLSemanticError
+
+
+class TestRangeSearchEdgeCases:
+    def test_empty_range(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql(
+            "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, qv) < 0.000001;",
+            qv=(np.full(16, 100.0)).tolist(),
+        )
+        assert len(r.result) == 0
+
+    def test_range_threshold_expression(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql(
+            "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, qv) < 2.0 + 3.0;",
+            qv=db._test_vectors[0].tolist(),
+        )
+        assert ("Post", db.vid_for("Post", 0)) in r.result
+
+    def test_le_operator_also_range(self, loaded_post_db):
+        db = loaded_post_db
+        r = db.run_gsql(
+            "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, qv) <= 5.0;",
+            qv=db._test_vectors[0].tolist(),
+        )
+        assert isinstance(r.result, RankedVertexSet)
+
+
+class TestVertexSetVariableStart:
+    def test_from_set_variable(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q() {
+              Odd = SELECT t FROM (t:Post) WHERE t.language == "en";
+              Authors = SELECT p FROM (m:Odd) - [:hasCreator] -> (p:Person);
+              PRINT Authors;
+            }
+            """
+        )
+        r = db.gsql.run_query("q")
+        assert len(r.prints[0]["vertices"]) == 5  # all five authors have en posts
+
+    def test_set_variable_filter_in_topk(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q(List<FLOAT> v) {
+              Long = SELECT t FROM (t:Post) WHERE t.length > 280;
+              Top = SELECT s FROM (s:Long)
+                    ORDER BY VECTOR_DIST(s.content_emb, v) LIMIT 3;
+              PRINT Top;
+            }
+            """
+        )
+        r = db.gsql.run_query("q", v=db._test_vectors[0].tolist())
+        pks = [v.pk for v, _ in r.prints[0]["vertices"]]
+        assert pks and all(pk > 180 for pk in pks)
+
+
+class TestAccumEdgeCases:
+    def test_vertex_local_accum_in_select(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q() {
+              SumAccum<INT> @cnt;
+              X = SELECT p FROM (m:Post) - [:hasCreator] -> (p:Person)
+                  ACCUM p.@cnt += 1;
+              Busy = SELECT p FROM (p:X) WHERE p.@cnt >= 40;
+              PRINT Busy;
+            }
+            """
+        )
+        r = db.gsql.run_query("q")
+        assert len(r.prints[0]["vertices"]) == 5  # 200 posts / 5 people
+
+    def test_map_accum_with_tuple(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q() {
+              MapAccum<VERTEX, INT> @@lengths;
+              X = SELECT t FROM (t:Post) WHERE t.id < 3
+                  ACCUM @@lengths += (t, t.length);
+              PRINT @@lengths;
+            }
+            """
+        )
+        r = db.gsql.run_query("q")
+        assert len(r.prints[0]) == 3
+
+    def test_avg_accum(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q() {
+              AvgAccum @@mean;
+              X = SELECT t FROM (t:Post) ACCUM @@mean += t.length;
+              PRINT @@mean;
+            }
+            """
+        )
+        r = db.gsql.run_query("q")
+        assert r.prints[0] == pytest.approx(100 + 199 / 2)
+
+
+class TestErrorLocations:
+    def test_parse_error_reports_line(self):
+        db = TigerVectorDB()
+        with pytest.raises(GSQLParseError) as err:
+            db.run_gsql("CREATE VERTEX X (\n  id INT PRIMARY KEY\n  name STRING\n);")
+        assert err.value.line == 3
+        db.close()
+
+    def test_semantic_error_mentions_name(self, loaded_post_db):
+        with pytest.raises(GSQLSemanticError, match="ghost"):
+            loaded_post_db.run_gsql("SELECT s FROM (s:ghost);")
+
+
+class TestDistinctAndProjection:
+    def test_multi_alias_projection_dedups(self, loaded_post_db):
+        db = loaded_post_db
+        rows = db.run_gsql(
+            "SELECT m, p FROM (m:Post) - [:hasCreator] -> (p:Person) "
+            "WHERE m.id < 4;"
+        ).result
+        assert len(rows) == 4
+        assert {type(r["m"]).__name__ for r in rows} == {"Vertex"}
+
+    def test_distinct_keyword_accepted(self, loaded_post_db):
+        r = loaded_post_db.run_gsql(
+            'SELECT DISTINCT p FROM (m:Post) - [:hasCreator] -> (p:Person);'
+        )
+        assert len(r.result) == 5
+
+
+class TestSnapshotConsistencyInQueries:
+    def test_query_sees_one_snapshot(self, loaded_post_db):
+        """A procedure's blocks all read the snapshot taken at start."""
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q() {
+              A = SELECT t FROM (t:Post) WHERE t.id < 5;
+              B = SELECT t FROM (t:Post) WHERE t.id < 5;
+              PRINT A;
+              PRINT B;
+            }
+            """
+        )
+        r = db.gsql.run_query("q")
+        assert r.prints[0] == r.prints[1]

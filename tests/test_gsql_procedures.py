@@ -1,0 +1,236 @@
+"""Tests for GSQL procedures: composition, accumulators, control flow, Q2-Q4."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GSQLSemanticError
+
+
+class TestQueryComposition:
+    def test_q2_search_then_expand(self, loaded_post_db):
+        """Paper Q2: VectorSearch feeds a 1-hop pattern via a set variable."""
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY Q2(List<FLOAT> topic_emb, INT k) {
+              TopKMessages = VectorSearch({Post.content_emb}, topic_emb, k);
+              Authors = SELECT p FROM (m:TopKMessages) - [:hasCreator] -> (p:Person);
+              PRINT Authors;
+            }
+            """
+        )
+        r = db.gsql.run_query("Q2", topic_emb=db._test_vectors[0].tolist(), k=5)
+        authors = r.prints[0]["vertices"]
+        assert authors
+        assert all(v.vertex_type == "Person" for v in authors)
+        assert "TopKMessages" in r.sets
+        assert len(r.sets["TopKMessages"]) == 5
+
+    def test_q3_filter_and_distance_map(self, loaded_post_db):
+        """Paper Q3: graph block output filters VectorSearch; distances out."""
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY Q3(List<FLOAT> topic_emb, INT k) {
+              Map<VERTEX, FLOAT> @@disMap;
+              EnPosts = SELECT t FROM (t:Post) WHERE t.language = "en";
+              TopK = VectorSearch({Post.content_emb}, topic_emb, k,
+                                  {filter: EnPosts, ef: 200, distanceMap: @@disMap});
+              PRINT TopK;
+              PRINT @@disMap;
+            }
+            """
+        )
+        r = db.gsql.run_query("Q3", topic_emb=db._test_vectors[1].tolist(), k=4)
+        top = r.prints[0]["vertices"]
+        assert len(top) == 4
+        assert all(v.pk % 2 == 1 for v, _ in top)  # en posts are odd
+        dis_map = r.prints[1]
+        assert len(dis_map) == 4
+        assert all(d >= 0 for d in dis_map.values())
+
+    def test_q4_louvain_per_community_search(self, loaded_post_db):
+        """Paper Q4: Louvain communities, then per-community top-k."""
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY Q4(List<FLOAT> topic_emb, INT k) {
+              C_num = tg_louvain(["Person"], ["knows"]);
+              FOREACH i IN RANGE[0, C_num] DO
+                CommunityPosts = SELECT t FROM (s:Person)<-[e:hasCreator]-(t:Post)
+                                 WHERE s.cid = i;
+                TopKPosts = VectorSearch({Post.content_emb}, topic_emb, k,
+                                         {filter: CommunityPosts});
+                PRINT TopKPosts;
+              END;
+            }
+            """
+        )
+        r = db.gsql.run_query("Q4", topic_emb=db._test_vectors[0].tolist(), k=2)
+        nonempty = [p for p in r.prints if p["vertices"]]
+        assert nonempty
+        total = sum(len(p["vertices"]) for p in nonempty)
+        assert total >= 2
+
+    def test_set_operators_compose(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY ops() {
+              En = SELECT t FROM (t:Post) WHERE t.language = "en";
+              Long = SELECT t FROM (t:Post) WHERE t.length > 250;
+              Both = En INTERSECT Long;
+              Either = En UNION Long;
+              OnlyEn = En MINUS Long;
+              PRINT Both;
+            }
+            """
+        )
+        r = db.gsql.run_query("ops")
+        both = r.sets["Both"]
+        either = r.sets["Either"]
+        only_en = r.sets["OnlyEn"]
+        assert len(both) + len(only_en) == len(r.sets["En"])
+        assert len(either) >= max(len(r.sets["En"]), len(r.sets["Long"]))
+        pks = {loaded_post_db.pk_for("Post", vid) for _, vid in both}
+        assert all(pk % 2 == 1 and pk > 150 for pk in pks)
+
+
+class TestControlFlowAndAccums:
+    def test_foreach_range_inclusive(self, post_db):
+        post_db.gsql.install(
+            """
+            CREATE QUERY q() {
+              SumAccum<INT> @@n;
+              FOREACH i IN RANGE[1, 4] DO @@n += i; END;
+              PRINT @@n;
+            }
+            """
+        )
+        r = post_db.gsql.run_query("q")
+        assert r.prints[0] == 10  # GSQL RANGE is inclusive
+
+    def test_while_with_limit(self, post_db):
+        post_db.gsql.install(
+            """
+            CREATE QUERY q() {
+              SumAccum<INT> @@n;
+              WHILE @@n < 100 LIMIT 3 DO @@n += 10; END;
+              PRINT @@n;
+            }
+            """
+        )
+        assert post_db.gsql.run_query("q").prints[0] == 30
+
+    def test_if_else(self, post_db):
+        post_db.gsql.install(
+            """
+            CREATE QUERY q(INT x) {
+              IF x > 5 THEN PRINT "big"; ELSE PRINT "small"; END;
+            }
+            """
+        )
+        assert post_db.gsql.run_query("q", x=9).prints == ["big"]
+        assert post_db.gsql.run_query("q", x=1).prints == ["small"]
+
+    def test_accum_in_select_block(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q() {
+              SumAccum<INT> @@count;
+              MaxAccum<INT> @@longest;
+              X = SELECT t FROM (t:Post) WHERE t.language = "fr"
+                  ACCUM @@count += 1, @@longest += t.length;
+              PRINT @@count;
+              PRINT @@longest;
+            }
+            """
+        )
+        r = db.gsql.run_query("q")
+        assert r.prints[0] == 100
+        assert r.prints[1] == 298  # longest fr post: pk=198 -> length 298
+
+    def test_missing_param_rejected(self, post_db):
+        post_db.gsql.install("CREATE QUERY q(INT x) { PRINT x; }")
+        with pytest.raises(GSQLSemanticError, match="missing query parameter"):
+            post_db.gsql.run_query("q")
+
+    def test_undeclared_accum_rejected(self, post_db):
+        post_db.gsql.install("CREATE QUERY q() { @@nope += 1; }")
+        with pytest.raises(GSQLSemanticError, match="undeclared"):
+            post_db.gsql.run_query("q")
+
+    def test_unknown_query_rejected(self, post_db):
+        with pytest.raises(GSQLSemanticError, match="not installed"):
+            post_db.gsql.run_query("ghost")
+
+    def test_heap_accum_in_procedure(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q() {
+              HeapAccum<FLOAT>(3) @@h;
+              X = SELECT t FROM (t:Post) ACCUM @@h += (t.length, t);
+              PRINT @@h;
+            }
+            """
+        )
+        r = db.gsql.run_query("q")
+        heap = r.prints[0]
+        assert [key for key, _ in heap] == [100, 101, 102]
+
+    def test_tg_pagerank_builtin(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY pr() {
+              N = tg_pagerank(["Person"], ["knows"]);
+              Ranked = SELECT p FROM (p:Person) WHERE p.rank > 0.0;
+              PRINT N;
+              PRINT Ranked;
+            }
+            """
+        )
+        r = db.gsql.run_query("pr")
+        assert r.prints[0] == 5
+        assert len(r.prints[1]["vertices"]) == 5
+
+
+class TestVectorSearchFunctionErrors:
+    def test_bad_filter_type(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q(List<FLOAT> v) {
+              X = VectorSearch({Post.content_emb}, v, 3, {filter: 42});
+            }
+            """
+        )
+        with pytest.raises(GSQLSemanticError, match="filter"):
+            db.gsql.run_query("q", v=[0.0] * 16)
+
+    def test_unknown_option(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q(List<FLOAT> v) {
+              X = VectorSearch({Post.content_emb}, v, 3, {bogus: 1});
+            }
+            """
+        )
+        with pytest.raises(GSQLSemanticError, match="unknown VectorSearch option"):
+            db.gsql.run_query("q", v=[0.0] * 16)
+
+    def test_distance_map_must_be_map(self, loaded_post_db):
+        db = loaded_post_db
+        db.gsql.install(
+            """
+            CREATE QUERY q(List<FLOAT> v) {
+              SumAccum<INT> @@n;
+              X = VectorSearch({Post.content_emb}, v, 3, {distanceMap: @@n});
+            }
+            """
+        )
+        with pytest.raises(GSQLSemanticError, match="Map"):
+            db.gsql.run_query("q", v=[0.0] * 16)

@@ -1,0 +1,217 @@
+"""Tests for the GSQL session: DDL execution, loading jobs, explain."""
+
+import numpy as np
+import pytest
+
+from repro import TigerVectorDB
+from repro.errors import GSQLSemanticError, LoadingError
+from repro.types import IndexType, Metric
+
+
+class TestDDL:
+    def test_full_schema_roundtrip(self):
+        db = TigerVectorDB(segment_size=32)
+        db.run_gsql(
+            """
+            CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, content STRING);
+            CREATE VERTEX Person (id INT PRIMARY KEY, name STRING);
+            CREATE DIRECTED EDGE hasCreator (FROM Post, TO Person);
+            CREATE UNDIRECTED EDGE knows (FROM Person, TO Person);
+            """
+        )
+        assert db.schema.has_vertex_type("Post")
+        assert db.schema.edge_type("knows").directed is False
+        db.close()
+
+    def test_paper_embedding_ddl(self):
+        """The exact ALTER VERTEX statement from Sec. 4.1."""
+        db = TigerVectorDB()
+        db.run_gsql("CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, content STRING);")
+        db.run_gsql(
+            """
+            ALTER VERTEX Post
+            ADD EMBEDDING ATTRIBUTE content_emb (
+              DIMENSION = 1024,
+              MODEL = GPT4,
+              INDEX = HNSW,
+              DATATYPE = FLOAT,
+              METRIC = COSINE
+            );
+            """
+        )
+        emb = db.schema.vertex_type("Post").embedding("content_emb")
+        assert emb.dimension == 1024
+        assert emb.model == "GPT4"
+        assert emb.index is IndexType.HNSW
+        assert emb.metric is Metric.COSINE
+        db.close()
+
+    def test_paper_embedding_space_ddl(self):
+        """The embedding-space example from Sec. 4.1 (Figure 2)."""
+        db = TigerVectorDB()
+        db.run_gsql(
+            """
+            CREATE VERTEX Post (id INT PRIMARY KEY);
+            CREATE VERTEX Comment (id INT PRIMARY KEY);
+            CREATE EMBEDDING SPACE GPT4_emb_space (
+              DIMENSION = 1024, MODEL = GPT4, INDEX = HNSW,
+              DATATYPE = FLOAT, METRIC = COSINE
+            );
+            ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb
+              IN EMBEDDING SPACE GPT4_emb_space;
+            ALTER VERTEX Comment ADD EMBEDDING ATTRIBUTE content_emb
+              IN EMBEDDING SPACE GPT4_emb_space;
+            """
+        )
+        post_emb = db.schema.vertex_type("Post").embedding("content_emb")
+        comment_emb = db.schema.vertex_type("Comment").embedding("content_emb")
+        assert post_emb.is_compatible_with(comment_emb)
+        assert post_emb.space == "GPT4_emb_space"
+        db.close()
+
+    def test_index_params_ddl(self):
+        db = TigerVectorDB()
+        db.run_gsql(
+            "CREATE VERTEX P (id INT PRIMARY KEY);"
+            "ALTER VERTEX P ADD EMBEDDING ATTRIBUTE e "
+            "(DIMENSION = 8, M = 8, EF_CONSTRUCTION = 50);"
+        )
+        emb = db.schema.vertex_type("P").embedding("e")
+        assert emb.index_params["M"] == 8
+        assert emb.index_params["ef_construction"] == 50
+        db.close()
+
+    def test_unknown_embedding_option(self):
+        db = TigerVectorDB()
+        db.run_gsql("CREATE VERTEX P (id INT PRIMARY KEY);")
+        with pytest.raises(GSQLSemanticError):
+            db.run_gsql("ALTER VERTEX P ADD EMBEDDING ATTRIBUTE e (WAT = 1);")
+        db.close()
+
+
+class TestLoadingJobs:
+    @pytest.fixture
+    def csv_files(self, tmp_path):
+        posts = tmp_path / "posts.csv"
+        posts.write_text(
+            "id,author,content\n1,alice,hello\n2,bob,world\n3,alice,again\n"
+        )
+        embs = tmp_path / "embs.csv"
+        embs.write_text(
+            "id,content_emb\n1,0.1:0.2:0.3:0.4\n2,1:1:1:1\n3,0:0:0:1\n"
+        )
+        return posts, embs
+
+    def test_paper_loading_job(self, csv_files, tmp_path):
+        """The loading-job example from Sec. 4.1, executed end to end."""
+        posts, embs = csv_files
+        db = TigerVectorDB(segment_size=16)
+        db.run_gsql(
+            "CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, content STRING);"
+            "ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb "
+            "(DIMENSION = 4, MODEL = GPT4, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);"
+        )
+        db.run_gsql(
+            """
+            CREATE LOADING JOB j1 FOR GRAPH g1 {
+              LOAD f1 TO VERTEX Post VALUES (id, author, content);
+              LOAD f2 TO EMBEDDING ATTRIBUTE content_emb
+                ON VERTEX Post VALUES (id, split(content_emb, ":"));
+            }
+            """
+        )
+        r = db.run_gsql(
+            f'RUN LOADING JOB j1 USING f1="{posts}", f2="{embs}";'
+        )
+        assert r.result == {"vertex:Post": 3, "embedding:content_emb": 3}
+        with db.snapshot() as snap:
+            vid = snap.vid_for_pk("Post", 2)
+            assert snap.get_attr("Post", vid, "author") == "bob"
+        store = db.service.store("Post", "content_emb")
+        assert np.allclose(store.get_embedding(db.vid_for("Post", 1)), [0.1, 0.2, 0.3, 0.4])
+        # loaded vectors are searchable
+        result = db.vector_search(["Post.content_emb"], [0, 0, 0, 1], k=1)
+        assert next(iter(result)) == ("Post", db.vid_for("Post", 3))
+        db.close()
+
+    def test_edge_loading(self, tmp_path):
+        db = TigerVectorDB()
+        db.run_gsql(
+            "CREATE VERTEX Person (id INT PRIMARY KEY);"
+            "CREATE DIRECTED EDGE follows (FROM Person, TO Person);"
+        )
+        with db.begin() as txn:
+            for i in range(3):
+                txn.upsert_vertex("Person", i, {})
+        edges = tmp_path / "edges.csv"
+        edges.write_text("src,dst\n0,1\n1,2\n")
+        db.run_gsql(
+            "CREATE LOADING JOB je FOR GRAPH g {"
+            " LOAD f TO EDGE follows VALUES (src, dst);"
+            "}"
+        )
+        r = db.run_gsql(f'RUN LOADING JOB je USING f="{edges}";')
+        assert r.result == {"edge:follows": 2}
+        with db.snapshot() as snap:
+            v0 = snap.vid_for_pk("Person", 0)
+            assert snap.degree("Person", v0, "follows") == 1
+        db.close()
+
+    def test_missing_file_binding(self, csv_files):
+        posts, _ = csv_files
+        db = TigerVectorDB()
+        db.run_gsql("CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, content STRING);")
+        db.run_gsql(
+            "CREATE LOADING JOB j FOR GRAPH g {"
+            " LOAD f1 TO VERTEX Post VALUES (id, author, content);"
+            "}"
+        )
+        with pytest.raises(LoadingError, match="USING"):
+            db.run_gsql("RUN LOADING JOB j;")
+        db.close()
+
+    def test_undefined_job(self):
+        db = TigerVectorDB()
+        with pytest.raises(LoadingError, match="not defined"):
+            db.run_gsql('RUN LOADING JOB ghost USING f="x";')
+        db.close()
+
+    def test_unknown_column_rejected(self, tmp_path):
+        db = TigerVectorDB()
+        db.run_gsql("CREATE VERTEX Post (id INT PRIMARY KEY);")
+        bad = tmp_path / "bad.csv"
+        bad.write_text("id,extra\n1,x\n")
+        db.run_gsql(
+            "CREATE LOADING JOB j FOR GRAPH g {"
+            " LOAD f TO VERTEX Post VALUES (id, extra);"
+            "}"
+        )
+        with pytest.raises(LoadingError, match="no attribute"):
+            db.run_gsql(f'RUN LOADING JOB j USING f="{bad}";')
+        db.close()
+
+
+class TestExplain:
+    def test_explain_does_not_execute(self, loaded_post_db):
+        plan = loaded_post_db.gsql.explain(
+            "SELECT t FROM (s:Person) - [:knows] -> (:Person) "
+            "<- [:hasCreator] - (t:Post) "
+            'WHERE s.firstName = "P0" AND t.length > 120 '
+            "ORDER BY VECTOR_DIST(t.content_emb, qv) LIMIT 5;"
+        )
+        lines = plan.splitlines()
+        assert lines[0].startswith("EmbeddingAction[Top 5")
+        assert any("EdgeAction[knows" in line for line in lines)
+        assert any("VertexAction[Person:s" in line for line in lines)
+
+    def test_explain_rejects_multi_block(self, loaded_post_db):
+        with pytest.raises(GSQLSemanticError):
+            loaded_post_db.gsql.explain(
+                "SELECT s FROM (s:Post); SELECT t FROM (t:Post);"
+            )
+
+    def test_install_lists_names(self, post_db):
+        names = post_db.gsql.install(
+            "CREATE QUERY a() { PRINT 1; } CREATE QUERY b() { PRINT 2; }"
+        )
+        assert names == ["a", "b"]

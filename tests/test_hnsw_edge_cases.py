@@ -1,0 +1,117 @@
+"""HNSW edge cases and robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.index import HNSWIndex
+from repro.types import Metric
+
+
+class TestDegenerateInputs:
+    def test_single_vector(self):
+        index = HNSWIndex(4, Metric.L2)
+        index.update_items([7], np.ones((1, 4), dtype=np.float32))
+        result = index.topk_search(np.ones(4, dtype=np.float32), 3)
+        assert result.ids.tolist() == [7]
+
+    def test_all_identical_vectors(self):
+        index = HNSWIndex(4, Metric.L2, M=4, ef_construction=16)
+        data = np.ones((50, 4), dtype=np.float32)
+        index.update_items(np.arange(50), data)
+        result = index.topk_search(np.ones(4, dtype=np.float32), 10, ef=32)
+        assert len(result) == 10
+        assert np.allclose(result.distances, 0.0, atol=1e-5)
+
+    def test_zero_vectors_cosine(self):
+        index = HNSWIndex(4, Metric.COSINE, M=4)
+        data = np.zeros((10, 4), dtype=np.float32)
+        data[5] = [1, 0, 0, 0]
+        index.update_items(np.arange(10), data)
+        result = index.topk_search(np.array([1, 0, 0, 0], dtype=np.float32), 1, ef=16)
+        assert result.ids[0] == 5
+
+    def test_zero_query_cosine(self):
+        index = HNSWIndex(4, Metric.COSINE, M=4)
+        index.update_items([0, 1], np.eye(2, 4, dtype=np.float32) + 1)
+        result = index.topk_search(np.zeros(4, dtype=np.float32), 2, ef=16)
+        assert len(result) == 2  # well-defined, no NaNs
+        assert np.all(np.isfinite(result.distances))
+
+    def test_huge_values(self):
+        index = HNSWIndex(4, Metric.L2, M=4)
+        data = np.full((20, 4), 1e18, dtype=np.float32)
+        data[3] = 0.0
+        index.update_items(np.arange(20), data)
+        result = index.topk_search(np.zeros(4, dtype=np.float32), 1, ef=16)
+        assert result.ids[0] == 3
+
+    def test_negative_external_ids_rejected_gracefully(self):
+        # external ids are arbitrary ints; negatives must round-trip
+        index = HNSWIndex(4, Metric.L2, M=4)
+        index.update_items([-5, -1], np.eye(2, 4, dtype=np.float32))
+        assert -5 in index
+        result = index.topk_search(np.array([1, 0, 0, 0], dtype=np.float32), 1, ef=16)
+        assert result.ids[0] == -5
+
+    def test_noncontiguous_ids(self):
+        index = HNSWIndex(4, Metric.L2, M=4)
+        ids = [10, 1000, 99999, 7]
+        index.update_items(ids, np.eye(4, dtype=np.float32))
+        for ext_id in ids:
+            assert ext_id in index
+
+
+class TestDeleteHeavyWorkloads:
+    def test_delete_majority_then_search(self, rng):
+        data = rng.standard_normal((300, 8)).astype(np.float32)
+        index = HNSWIndex(8, Metric.L2, M=8, ef_construction=32)
+        index.update_items(np.arange(300), data)
+        index.delete_items(list(range(0, 300, 2)))  # delete half
+        result = index.topk_search(data[1], 10, ef=128)
+        assert result.ids[0] == 1
+        assert all(i % 2 == 1 for i in result.ids)
+        assert len(index) == 150
+
+    def test_delete_everything(self, rng):
+        data = rng.standard_normal((30, 8)).astype(np.float32)
+        index = HNSWIndex(8, Metric.L2, M=8)
+        index.update_items(np.arange(30), data)
+        index.delete_items(list(range(30)))
+        assert len(index) == 0
+        result = index.topk_search(data[0], 5, ef=64)
+        assert len(result) == 0
+
+    def test_repeated_update_same_id(self, rng):
+        index = HNSWIndex(8, Metric.L2, M=8)
+        base = rng.standard_normal((20, 8)).astype(np.float32)
+        index.update_items(np.arange(20), base)
+        for round_no in range(10):
+            vec = np.full(8, float(round_no), dtype=np.float32)
+            index.update_items([3], vec.reshape(1, -1))
+        assert np.allclose(index.get_embedding(3), 9.0)
+        assert len(index) == 20
+        result = index.topk_search(np.full(8, 9.0, np.float32), 1, ef=64)
+        assert result.ids[0] == 3
+
+
+class TestStatsAccounting:
+    def test_hops_counted(self, rng):
+        data = rng.standard_normal((200, 8)).astype(np.float32)
+        index = HNSWIndex(8, Metric.L2, M=8, ef_construction=32)
+        index.update_items(np.arange(200), data)
+        before = index.stats.num_hops
+        index.topk_search(data[0], 5, ef=64)
+        assert index.stats.num_hops > before
+
+    def test_build_seconds_accumulates(self, rng):
+        index = HNSWIndex(8, Metric.L2, M=8)
+        index.update_items([0], rng.standard_normal((1, 8)).astype(np.float32))
+        first = index.stats.build_seconds
+        index.update_items([1], rng.standard_normal((1, 8)).astype(np.float32))
+        assert index.stats.build_seconds > first
+
+    def test_deleted_count(self, rng):
+        index = HNSWIndex(8, Metric.L2, M=8)
+        index.update_items(np.arange(5), rng.standard_normal((5, 8)).astype(np.float32))
+        index.delete_items([0, 1, 99])  # 99 doesn't exist
+        assert index.stats.num_deleted == 2

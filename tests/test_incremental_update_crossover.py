@@ -1,0 +1,81 @@
+"""Tests for the update-vs-rebuild mechanics behind Figure 11."""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.index import HNSWIndex
+from repro.types import Metric
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(3)
+    data = rng.standard_normal((1200, 16)).astype(np.float32)
+    index = HNSWIndex(16, Metric.L2, M=8, ef_construction=48)
+    start = time.perf_counter()
+    index.update_items(np.arange(1200), data)
+    build_seconds = time.perf_counter() - start
+    return index, data, build_seconds
+
+
+class TestUpdateMechanics:
+    def test_update_tombstones_old_row(self, base):
+        index, data, _ = base
+        clone = pickle.loads(pickle.dumps(index))
+        before_rows = clone._count
+        clone.update_items([5], (data[5] + 1.0).reshape(1, -1))
+        assert clone._count == before_rows + 1  # fresh row appended
+        assert len(clone) == 1200  # logical size unchanged
+
+    def test_update_cost_exceeds_fresh_insert(self, base):
+        """The Figure-11 crossover mechanism: updating into a dense graph
+        costs more than batch-build inserts did on average."""
+        index, data, build_seconds = base
+        per_insert = build_seconds / 1200
+        clone = pickle.loads(pickle.dumps(index))
+        rng = np.random.default_rng(4)
+        ids = rng.choice(1200, size=100, replace=False)
+        start = time.perf_counter()
+        clone.update_items(ids.tolist(), data[ids] + 0.5)
+        per_update = (time.perf_counter() - start) / 100
+        assert per_update > 0.7 * per_insert  # at least comparable, usually >
+
+    def test_small_update_beats_rebuild(self, base):
+        index, data, build_seconds = base
+        clone = pickle.loads(pickle.dumps(index))
+        rng = np.random.default_rng(5)
+        ids = rng.choice(1200, size=12, replace=False)  # 1%
+        start = time.perf_counter()
+        clone.update_items(ids.tolist(), data[ids] + 0.5)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.5 * build_seconds
+
+    def test_updated_index_quality_preserved(self, base):
+        """After updates, search still finds the moved vectors."""
+        index, data, _ = base
+        clone = pickle.loads(pickle.dumps(index))
+        rng = np.random.default_rng(6)
+        ids = rng.choice(1200, size=60, replace=False)
+        moved = data[ids] + 20.0
+        clone.update_items(ids.tolist(), moved)
+        hits = 0
+        for row, ext_id in zip(moved[:20], ids[:20]):
+            result = clone.topk_search(row, 1, ef=64)
+            hits += int(result.ids[0] == ext_id)
+        assert hits >= 18
+
+    def test_monotone_update_cost(self, base):
+        index, data, _ = base
+        rng = np.random.default_rng(7)
+        times = []
+        for frac in (0.02, 0.1, 0.3):
+            count = int(1200 * frac)
+            ids = rng.choice(1200, size=count, replace=False)
+            clone = pickle.loads(pickle.dumps(index))
+            start = time.perf_counter()
+            clone.update_items(ids.tolist(), data[ids] + 0.1)
+            times.append(time.perf_counter() - start)
+        assert times[0] < times[1] < times[2]

@@ -1,0 +1,162 @@
+"""Integration tests: the full LDBC-like hybrid pipeline, end to end."""
+
+import numpy as np
+import pytest
+
+from repro import TigerVectorDB
+from repro.datasets import (
+    IC_QUERIES,
+    LDBCConfig,
+    build_ic_query,
+    generate_ldbc,
+    load_ldbc_into,
+)
+
+
+@pytest.fixture(scope="module")
+def hybrid_db():
+    data = generate_ldbc(LDBCConfig(scale_factor=0.5, embedding_dim=16, seed=77))
+    db = TigerVectorDB(segment_size=512)
+    load_ldbc_into(db, data)
+    yield db, data
+    db.close()
+
+
+class TestLoadedGraph:
+    def test_counts(self, hybrid_db):
+        db, data = hybrid_db
+        with db.snapshot() as snap:
+            assert snap.count("Person") == len(data.persons)
+            assert snap.count("Post") == len(data.posts)
+            assert snap.count("Comment") == len(data.comments)
+            assert snap.count("Country") == len(data.countries)
+
+    def test_embeddings_loaded_and_searchable(self, hybrid_db):
+        db, data = hybrid_db
+        store = db.service.store("Post", "content_emb")
+        assert store.live_count() == len(data.posts)
+        q = data.post_embeddings[3]
+        result = db.vector_search(["Post.content_emb"], q, k=1)
+        assert next(iter(result)) == ("Post", db.vid_for("Post", 3))
+
+    def test_multi_type_message_search(self, hybrid_db):
+        db, data = hybrid_db
+        q = data.comment_embeddings[5]
+        result = db.vector_search(
+            ["Post.content_emb", "Comment.content_emb"], q, k=1
+        )
+        assert next(iter(result)) == ("Comment", db.vid_for("Comment", 5))
+
+    def test_reply_chain_traversal(self, hybrid_db):
+        db, data = hybrid_db
+        comment_id, post_id = data.reply_of[0]
+        r = db.run_gsql(
+            "SELECT p FROM (c:Comment) - [:replyOf] -> (p:Post) WHERE c.id == cid;",
+            cid=comment_id,
+        )
+        assert r.result.members() == {("Post", db.vid_for("Post", post_id))}
+
+
+class TestICQueries:
+    @pytest.mark.parametrize("name", sorted(IC_QUERIES))
+    def test_every_ic_query_runs(self, hybrid_db, name):
+        db, data = hybrid_db
+        qname, text = build_ic_query(name, 2)
+        db.gsql.install(text)
+        r = db.gsql.run_query(
+            qname, pid=0, topic_emb=data.post_embeddings[0].tolist(), k=5
+        )
+        printed = r.prints[0]
+        assert "vertices" in printed
+        assert len(printed["vertices"]) <= 5
+        assert "num_candidates" in r.metrics or not printed["vertices"]
+
+    def test_candidate_profile_matches_paper(self, hybrid_db):
+        """IC5 collects the most, IC9 exactly <= 20, IC3 the fewest-ish."""
+        db, data = hybrid_db
+        sizes = {}
+        for name in IC_QUERIES:
+            qname, text = build_ic_query(name, 3)
+            db.gsql.install(text)
+            r = db.gsql.run_query(
+                qname, pid=0, topic_emb=data.post_embeddings[0].tolist(), k=5
+            )
+            sizes[name] = r.metrics.get("num_candidates", 0)
+        assert sizes["IC5"] == max(sizes.values())
+        assert sizes["IC9"] <= 20
+        assert sizes["IC3"] <= sizes["IC5"]
+
+    def test_hops_grow_candidates(self, hybrid_db):
+        db, data = hybrid_db
+        counts = []
+        for hops in (2, 3, 4):
+            qname, text = build_ic_query("IC5", hops)
+            db.gsql.install(text)
+            r = db.gsql.run_query(
+                qname, pid=0, topic_emb=data.post_embeddings[0].tolist(), k=5
+            )
+            counts.append(r.metrics.get("num_candidates", 0))
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_topk_results_respect_candidates(self, hybrid_db):
+        """Every returned vertex must belong to the collected candidate set."""
+        db, data = hybrid_db
+        qname, text = build_ic_query("IC6", 2)
+        db.gsql.install(text)
+        r = db.gsql.run_query(
+            qname, pid=0, topic_emb=data.post_embeddings[0].tolist(), k=5
+        )
+        candidates = r.sets["Candidates"]
+        top = r.sets["TopK"]
+        assert all(member in candidates for member in top)
+
+
+class TestConcurrentReadersAndVacuum:
+    def test_search_under_concurrent_updates(self, hybrid_db):
+        """Readers stay consistent while updates and vacuums interleave."""
+        import threading
+
+        db, data = hybrid_db
+        store = db.service.store("Post", "content_emb")
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                with db.begin() as txn:
+                    txn.set_embedding(
+                        "Post", i % 20, "content_emb",
+                        np.random.default_rng(i).standard_normal(16).astype(np.float32),
+                    )
+                i += 1
+
+        def vacuumer():
+            while not stop.is_set():
+                db.vacuum()
+
+        def reader():
+            q = data.post_embeddings[0]
+            while not stop.is_set():
+                try:
+                    result = db.vector_search(["Post.content_emb"], q, k=5)
+                    assert len(result) <= 5
+                except Exception as exc:  # pragma: no cover - failure capture
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=vacuumer),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors, errors

@@ -1,0 +1,84 @@
+"""Tests for LDBC loading helpers and the GSQL loading split() path."""
+
+import numpy as np
+import pytest
+
+from repro import TigerVectorDB
+from repro.datasets.ldbc import LDBC_SCHEMA_GSQL, LDBCConfig, generate_ldbc, load_ldbc_into
+from repro.gsql.functions import BUILTINS
+
+
+class TestSplitHelper:
+    def test_basic(self):
+        out = BUILTINS["split"]("1:2:3.5", ":")
+        assert out.dtype == np.float32
+        assert np.allclose(out, [1.0, 2.0, 3.5])
+
+    def test_other_separator(self):
+        assert np.allclose(BUILTINS["split"]("1|2", "|"), [1.0, 2.0])
+
+    def test_empty_pieces_skipped(self):
+        assert np.allclose(BUILTINS["split"]("1::2:", ":"), [1.0, 2.0])
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ValueError):
+            BUILTINS["split"]("1:x", ":")
+
+
+class TestLDBCSchema:
+    def test_schema_gsql_parses_and_applies(self):
+        db = TigerVectorDB()
+        db.run_gsql(LDBC_SCHEMA_GSQL)
+        assert db.schema.has_vertex_type("Person")
+        assert db.schema.has_vertex_type("Comment")
+        assert not db.schema.edge_type("knows").directed
+        assert db.schema.edge_type("replyOf").from_type == "Comment"
+        db.close()
+
+    def test_country_string_primary_key(self):
+        db = TigerVectorDB()
+        db.run_gsql(LDBC_SCHEMA_GSQL)
+        with db.begin() as txn:
+            txn.upsert_vertex("Country", "France", {})
+        with db.snapshot() as snap:
+            assert snap.vid_for_pk("Country", "France") is not None
+        db.close()
+
+
+class TestLoadRoundtrip:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        data = generate_ldbc(LDBCConfig(scale_factor=0.3, embedding_dim=8, seed=2))
+        db = TigerVectorDB(segment_size=256)
+        load_ldbc_into(db, data)
+        yield db, data
+        db.close()
+
+    def test_knows_is_symmetric(self, loaded):
+        db, data = loaded
+        a, b = data.knows[0]
+        with db.snapshot() as snap:
+            va = snap.vid_for_pk("Person", a)
+            vb = snap.vid_for_pk("Person", b)
+            assert vb in snap.neighbors("Person", va, "knows")
+            assert va in snap.neighbors("Person", vb, "knows")
+
+    def test_person_country_edges(self, loaded):
+        db, data = loaded
+        pid, country = data.person_country[0]
+        with db.snapshot() as snap:
+            vp = snap.vid_for_pk("Person", pid)
+            targets = snap.neighbors("Person", vp, "isLocatedIn")
+            names = {snap.get_attr("Country", t, "name") for t in targets}
+        assert country in names
+
+    def test_embeddings_match_generated(self, loaded):
+        db, data = loaded
+        store = db.service.store("Comment", "content_emb")
+        vid = db.vid_for("Comment", 4)
+        assert np.allclose(store.get_embedding(vid), data.comment_embeddings[4])
+
+    def test_no_pending_deltas_after_load(self, loaded):
+        db, _ = loaded
+        assert db.service.store("Post", "content_emb").pending_delta_count() == 0
+        assert db.store.pending_delta_count() == 0

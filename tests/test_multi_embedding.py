@@ -1,0 +1,84 @@
+"""Tests for multiple embedding attributes per vertex (paper Sec. 4.1).
+
+"Each graph vertex can have one or more embedding attributes alongside
+other attributes" — e.g. a text embedding and an image embedding on the
+same node, managed and searched independently.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, AttrType, Metric, TigerVectorDB
+
+
+@pytest.fixture
+def db(rng):
+    db = TigerVectorDB(segment_size=32)
+    db.schema.create_vertex_type(
+        "Product",
+        [Attribute("id", AttrType.INT, primary_key=True), Attribute("name", AttrType.STRING)],
+    )
+    db.schema.add_embedding_attribute(
+        "Product", "text_emb", dimension=8, model="text-model", metric=Metric.L2
+    )
+    db.schema.add_embedding_attribute(
+        "Product", "image_emb", dimension=12, model="image-model", metric=Metric.COSINE
+    )
+    text = rng.standard_normal((50, 8)).astype(np.float32)
+    image = rng.standard_normal((50, 12)).astype(np.float32)
+    with db.begin() as txn:
+        for i in range(50):
+            txn.upsert_vertex("Product", i, {"name": f"p{i}"})
+            txn.set_embedding("Product", i, "text_emb", text[i])
+            txn.set_embedding("Product", i, "image_emb", image[i])
+    db.vacuum()
+    db._text, db._image = text, image
+    yield db
+    db.close()
+
+
+class TestIndependentAttributes:
+    def test_separate_stores(self, db):
+        text_store = db.service.store("Product", "text_emb")
+        image_store = db.service.store("Product", "image_emb")
+        assert text_store is not image_store
+        assert text_store.embedding.dimension == 8
+        assert image_store.embedding.dimension == 12
+
+    def test_search_each_attribute(self, db):
+        r = db.vector_search(["Product.text_emb"], db._text[7], k=1)
+        assert next(iter(r)) == ("Product", db.vid_for("Product", 7))
+        r = db.vector_search(["Product.image_emb"], db._image[9], k=1)
+        assert next(iter(r)) == ("Product", db.vid_for("Product", 9))
+
+    def test_attributes_not_mixable(self, db):
+        from repro.errors import EmbeddingCompatibilityError
+
+        with pytest.raises(EmbeddingCompatibilityError):
+            db.vector_search(
+                ["Product.text_emb", "Product.image_emb"], db._text[0], k=1
+            )
+
+    def test_update_one_leaves_other(self, db):
+        with db.begin() as txn:
+            txn.set_embedding("Product", 3, "text_emb", np.zeros(8, np.float32))
+        text_store = db.service.store("Product", "text_emb")
+        image_store = db.service.store("Product", "image_emb")
+        vid = db.vid_for("Product", 3)
+        assert np.allclose(text_store.get_embedding(vid), 0.0)
+        assert np.allclose(image_store.get_embedding(vid), db._image[3])
+
+    def test_vertex_delete_cascades_both(self, db):
+        vid = db.vid_for("Product", 5)
+        with db.begin() as txn:
+            txn.delete_vertex("Product", 5)
+        assert db.service.store("Product", "text_emb").get_embedding(vid) is None
+        assert db.service.store("Product", "image_emb").get_embedding(vid) is None
+
+    def test_gsql_on_each(self, db):
+        r = db.run_gsql(
+            "SELECT s FROM (s:Product) "
+            "ORDER BY VECTOR_DIST(s.image_emb, qv) LIMIT 2;",
+            qv=db._image[11].tolist(),
+        )
+        assert r.result.ranking[0][0] == ("Product", db.vid_for("Product", 11))

@@ -1,0 +1,114 @@
+"""Property-based tests for the GSQL pipeline.
+
+Hypothesis generates random (but schema-valid) data and checks executor
+invariants: declarative results must equal engine-level results, filtered
+top-k must be the true nearest among the filtered subset, and the
+similarity join must match brute force.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Attribute, AttrType, Metric, TigerVectorDB
+from repro.types import batch_distances
+
+DIM = 6
+
+
+def build_db(vector_seeds, languages):
+    db = TigerVectorDB(segment_size=4)
+    db.schema.create_vertex_type(
+        "Doc",
+        [Attribute("id", AttrType.INT, primary_key=True), Attribute("lang", AttrType.STRING)],
+    )
+    db.schema.add_embedding_attribute("Doc", "emb", dimension=DIM, metric=Metric.L2)
+    vectors = []
+    with db.begin() as txn:
+        for i, (seed, lang) in enumerate(zip(vector_seeds, languages)):
+            rng = np.random.default_rng(seed)
+            vec = rng.standard_normal(DIM).astype(np.float32)
+            vectors.append(vec)
+            txn.upsert_vertex("Doc", i, {"lang": lang})
+            txn.set_embedding("Doc", i, "emb", vec)
+    db.vacuum()
+    return db, np.stack(vectors)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seeds=st.lists(st.integers(0, 10_000), min_size=3, max_size=20, unique=True),
+    k=st.integers(1, 5),
+)
+def test_declarative_topk_matches_bruteforce(seeds, k):
+    db, vectors = build_db(seeds, ["en"] * len(seeds))
+    try:
+        q = np.zeros(DIM, dtype=np.float32)
+        r = db.run_gsql(
+            "SELECT s FROM (s:Doc) ORDER BY VECTOR_DIST(s.emb, qv) LIMIT k;",
+            qv=q.tolist(), k=k,
+        )
+        dists = batch_distances(q, vectors, Metric.L2)
+        k_eff = min(k, len(seeds))
+        boundary = sorted(dists)[k_eff - 1]
+        got = [db.pk_for(t, v) for (t, v), _ in r.result.ranking]
+        assert len(got) == k_eff
+        # with ef defaulting high relative to these sizes, results are exact
+        # up to distance ties at the boundary
+        for pk in got:
+            assert dists[pk] <= boundary + 1e-5
+    finally:
+        db.close()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seeds=st.lists(st.integers(0, 10_000), min_size=4, max_size=16, unique=True),
+    lang_bits=st.lists(st.booleans(), min_size=4, max_size=16),
+)
+def test_filtered_topk_respects_filter_exactly(seeds, lang_bits):
+    langs = ["en" if b else "fr" for b in lang_bits[: len(seeds)]]
+    while len(langs) < len(seeds):
+        langs.append("fr")
+    db, vectors = build_db(seeds, langs)
+    try:
+        q = np.zeros(DIM, dtype=np.float32)
+        r = db.run_gsql(
+            'SELECT s FROM (s:Doc) WHERE s.lang = "en" '
+            "ORDER BY VECTOR_DIST(s.emb, qv) LIMIT 3;",
+            qv=q.tolist(),
+        )
+        allowed = [i for i, lang in enumerate(langs) if lang == "en"]
+        got = [db.pk_for(t, v) for (t, v), _ in r.result.ranking]
+        assert set(got).issubset(set(allowed))
+        assert len(got) == min(3, len(allowed))
+        if allowed:
+            dists = batch_distances(q, vectors, Metric.L2)
+            allowed_sorted = sorted(allowed, key=lambda i: dists[i])
+            boundary = dists[allowed_sorted[min(3, len(allowed)) - 1]]
+            for pk in got:
+                assert dists[pk] <= boundary + 1e-5
+    finally:
+        db.close()
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds=st.lists(st.integers(0, 10_000), min_size=3, max_size=10, unique=True))
+def test_range_search_sound(seeds):
+    """Range results are a subset of the true within-radius set."""
+    db, vectors = build_db(seeds, ["en"] * len(seeds))
+    try:
+        q = np.zeros(DIM, dtype=np.float32)
+        threshold = float(np.median(batch_distances(q, vectors, Metric.L2))) + 0.1
+        r = db.run_gsql(
+            "SELECT s FROM (s:Doc) WHERE VECTOR_DIST(s.emb, qv) < t;",
+            qv=q.tolist(), t=threshold,
+        )
+        dists = batch_distances(q, vectors, Metric.L2)
+        within = {i for i in range(len(seeds)) if dists[i] < threshold}
+        got = {db.pk_for(t, v) for (t, v), _ in r.result.ranking}
+        assert got.issubset(within)
+        assert len(got) >= max(1, int(0.6 * len(within)))
+    finally:
+        db.close()

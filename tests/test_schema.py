@@ -1,0 +1,196 @@
+"""Tests for the schema catalog and embedding DDL."""
+
+import pytest
+
+from repro import Attribute, AttrType, GraphSchema, Metric
+from repro.core.embedding import EmbeddingSpace, EmbeddingType, check_compatible
+from repro.errors import (
+    EmbeddingCompatibilityError,
+    SchemaError,
+    UnknownTypeError,
+)
+from repro.types import DataType, IndexType
+
+
+def person_attrs():
+    return [
+        Attribute("id", AttrType.INT, primary_key=True),
+        Attribute("name", AttrType.STRING),
+    ]
+
+
+class TestVertexType:
+    def test_create_and_lookup(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Person", person_attrs())
+        vtype = schema.vertex_type("Person")
+        assert vtype.primary_key == "id"
+        assert vtype.attribute("name").attr_type is AttrType.STRING
+
+    def test_requires_primary_key(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError, match="PRIMARY KEY"):
+            schema.create_vertex_type("X", [Attribute("a", AttrType.INT)])
+
+    def test_duplicate_primary_key(self):
+        with pytest.raises(SchemaError):
+            GraphSchema().create_vertex_type(
+                "X",
+                [
+                    Attribute("a", AttrType.INT, primary_key=True),
+                    Attribute("b", AttrType.INT, primary_key=True),
+                ],
+            )
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            GraphSchema().create_vertex_type(
+                "X",
+                [
+                    Attribute("a", AttrType.INT, primary_key=True),
+                    Attribute("a", AttrType.STRING),
+                ],
+            )
+
+    def test_duplicate_type(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Person", person_attrs())
+        with pytest.raises(SchemaError, match="already exists"):
+            schema.create_vertex_type("Person", person_attrs())
+
+    def test_unknown_lookup(self):
+        with pytest.raises(UnknownTypeError):
+            GraphSchema().vertex_type("Nope")
+
+    def test_unknown_attribute(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Person", person_attrs())
+        with pytest.raises(UnknownTypeError):
+            schema.vertex_type("Person").attribute("age")
+
+
+class TestEdgeType:
+    def test_create(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Person", person_attrs())
+        schema.create_edge_type("knows", "Person", "Person", directed=False)
+        assert not schema.edge_type("knows").directed
+
+    def test_unknown_endpoint(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Person", person_attrs())
+        with pytest.raises(UnknownTypeError):
+            schema.create_edge_type("e", "Person", "Missing")
+
+    def test_edge_no_primary_key(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Person", person_attrs())
+        with pytest.raises(SchemaError):
+            schema.create_edge_type(
+                "e", "Person", "Person",
+                attributes=[Attribute("w", AttrType.INT, primary_key=True)],
+            )
+
+
+class TestEmbeddingDDL:
+    def test_add_inline(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Post", person_attrs())
+        emb = schema.add_embedding_attribute(
+            "Post", "emb", dimension=128, model="GPT4", metric=Metric.COSINE
+        )
+        assert emb.dimension == 128
+        assert schema.vertex_type("Post").embedding("emb") is emb
+        assert schema.embedding_attribute("Post.emb")[1] is emb
+
+    def test_add_via_space(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Post", person_attrs())
+        schema.create_vertex_type("Comment", person_attrs())
+        schema.create_embedding_space("gpt4", dimension=64, model="GPT4")
+        a = schema.add_embedding_attribute("Post", "emb", space="gpt4")
+        b = schema.add_embedding_attribute("Comment", "emb", space="gpt4")
+        assert a.is_compatible_with(b)
+        assert a.space == "gpt4"
+
+    def test_requires_dimension(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Post", person_attrs())
+        with pytest.raises(SchemaError, match="DIMENSION"):
+            schema.add_embedding_attribute("Post", "emb")
+
+    def test_name_collision_with_attribute(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Post", person_attrs())
+        with pytest.raises(SchemaError):
+            schema.add_embedding_attribute("Post", "name", dimension=4)
+
+    def test_unknown_space(self):
+        schema = GraphSchema()
+        schema.create_vertex_type("Post", person_attrs())
+        with pytest.raises(UnknownTypeError):
+            schema.add_embedding_attribute("Post", "emb", space="missing")
+
+    def test_bad_qualified_reference(self):
+        schema = GraphSchema()
+        with pytest.raises(UnknownTypeError):
+            schema.embedding_attribute("no_dot_here")
+
+
+class TestCompatibility:
+    def make(self, **kw):
+        base = dict(
+            name="e", dimension=64, model="GPT4",
+            index=IndexType.HNSW, datatype=DataType.FLOAT, metric=Metric.COSINE,
+        )
+        base.update(kw)
+        return EmbeddingType(**base)
+
+    def test_identical_compatible(self):
+        a, b = self.make(), self.make(name="f")
+        assert check_compatible([("A.e", a), ("B.f", b)]) is a
+
+    def test_index_may_differ(self):
+        a = self.make()
+        b = self.make(index=IndexType.FLAT)
+        assert a.is_compatible_with(b)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("dimension", 32),
+            ("model", "BERT"),
+            ("datatype", DataType.DOUBLE),
+            ("metric", Metric.L2),
+        ],
+    )
+    def test_mismatch_rejected(self, field, value):
+        a = self.make()
+        b = self.make(**{field: value})
+        with pytest.raises(EmbeddingCompatibilityError):
+            check_compatible([("A.e", a), ("B.e", b)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmbeddingCompatibilityError):
+            check_compatible([])
+
+    def test_validate_vector(self):
+        import numpy as np
+
+        emb = self.make(dimension=4)
+        out = emb.validate_vector([1, 2, 3, 4])
+        assert out.dtype == np.float32
+        from repro.errors import DimensionMismatchError
+
+        with pytest.raises(DimensionMismatchError):
+            emb.validate_vector([1, 2, 3])
+
+    def test_space_make_attribute(self):
+        space = EmbeddingSpace("s", dimension=8, model="m")
+        attr = space.make_attribute("emb")
+        assert attr.space == "s"
+        assert attr.dimension == 8
+
+    def test_invalid_dimension(self):
+        with pytest.raises(SchemaError):
+            EmbeddingType(name="e", dimension=0)

@@ -1,0 +1,134 @@
+"""Unit tests for the MVCC segment version-chain machinery."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, AttrType
+from repro.errors import ReproError
+from repro.graph.schema import VertexType
+from repro.graph.segment import DeltaOp, Segment, reverse_edge_key
+
+
+@pytest.fixture
+def vtype():
+    return VertexType(
+        "T",
+        [Attribute("id", AttrType.INT, primary_key=True), Attribute("x", AttrType.INT)],
+    )
+
+
+@pytest.fixture
+def segment(vtype):
+    return Segment(vtype, seg_no=0, capacity=8)
+
+
+def upsert(tid, offset, **attrs):
+    return DeltaOp(tid, "upsert", offset, {"id": offset, "x": 0, **attrs})
+
+
+class TestDeltaOrdering:
+    def test_tid_order_enforced(self, segment):
+        segment.append_delta(upsert(5, 0))
+        with pytest.raises(ReproError):
+            segment.append_delta(upsert(3, 1))
+
+    def test_equal_tids_allowed(self, segment):
+        segment.append_delta(upsert(5, 0))
+        segment.append_delta(upsert(5, 1))  # same txn touches two vertices
+        assert segment.pending_delta_count == 2
+
+
+class TestReadStates:
+    def test_snapshot_boundaries(self, segment):
+        segment.append_delta(upsert(1, 0, x=10))
+        segment.append_delta(upsert(2, 0, x=20))
+        assert segment.read_state(0).exists(0) is False
+        assert segment.read_state(1).get_attr(0, "x") == 10
+        assert segment.read_state(2).get_attr(0, "x") == 20
+
+    def test_delete_visibility(self, segment):
+        segment.append_delta(upsert(1, 3))
+        segment.append_delta(DeltaOp(2, "delete", 3))
+        assert segment.read_state(1).exists(3)
+        assert not segment.read_state(2).exists(3)
+
+    def test_edges_in_state(self, segment):
+        segment.append_delta(upsert(1, 0))
+        segment.append_delta(DeltaOp(2, "add_edge", 0, ("e", 42, None)))
+        segment.append_delta(DeltaOp(3, "add_edge", 0, ("e", 43, None)))
+        segment.append_delta(DeltaOp(4, "del_edge", 0, ("e", 42, None)))
+        assert [t for t, _ in segment.read_state(3).neighbors(0, "e")] == [42, 43]
+        assert [t for t, _ in segment.read_state(4).neighbors(0, "e")] == [43]
+
+    def test_valid_mask(self, segment):
+        segment.append_delta(upsert(1, 0))
+        segment.append_delta(upsert(1, 2))
+        mask = segment.read_state(1).valid_mask()
+        assert mask.tolist() == [True, False, True] + [False] * 5
+
+    def test_copy_on_write_isolated_from_base(self, segment):
+        segment.append_delta(upsert(1, 0, x=1))
+        segment.vacuum(1)
+        base = segment.version_for(1)
+        segment.append_delta(upsert(2, 0, x=2))
+        state = segment.read_state(2)
+        assert state.get_attr(0, "x") == 2
+        assert base.columns["x"][0] == 1  # base untouched
+
+
+class TestVacuumVersions:
+    def test_vacuum_creates_version(self, segment):
+        segment.append_delta(upsert(1, 0))
+        assert segment.vacuum(1) is not None
+        assert segment.versions[-1].base_tid == 1
+        assert segment.vacuum(1) is None  # nothing new
+
+    def test_partial_vacuum(self, segment):
+        segment.append_delta(upsert(1, 0, x=1))
+        segment.append_delta(upsert(5, 0, x=5))
+        segment.vacuum(3)  # folds only tid 1
+        assert segment.versions[-1].base_tid == 1
+        assert segment.read_state(5).get_attr(0, "x") == 5
+
+    def test_version_selection(self, segment):
+        segment.append_delta(upsert(1, 0, x=1))
+        segment.vacuum(1)
+        segment.append_delta(upsert(2, 0, x=2))
+        segment.vacuum(2)
+        assert segment.version_for(1).base_tid == 1
+        assert segment.version_for(2).base_tid == 2
+        assert segment.version_for(99).base_tid == 2
+
+    def test_gc_drops_unreachable(self, segment):
+        segment.append_delta(upsert(1, 0))
+        segment.vacuum(1)
+        segment.append_delta(upsert(2, 0))
+        segment.vacuum(2)
+        assert len(segment.versions) == 3  # empty + v1 + v2
+        dropped = segment.gc_versions(min_active_snapshot_tid=2)
+        assert dropped == 2
+        assert len(segment.versions) == 1
+        assert segment.pending_delta_count == 0
+
+    def test_gc_keeps_needed_versions(self, segment):
+        segment.append_delta(upsert(1, 0))
+        segment.vacuum(1)
+        segment.append_delta(upsert(2, 0))
+        segment.vacuum(2)
+        segment.gc_versions(min_active_snapshot_tid=1)
+        # version v1 must survive for the snapshot pinned at tid 1
+        assert any(v.base_tid == 1 for v in segment.versions)
+        assert segment.read_state(1).exists(0)
+
+    def test_delete_clears_edges_on_vacuum(self, segment):
+        segment.append_delta(upsert(1, 0))
+        segment.append_delta(DeltaOp(2, "add_edge", 0, ("e", 9, None)))
+        segment.append_delta(DeltaOp(3, "delete", 0))
+        segment.vacuum(3)
+        state = segment.read_state(3)
+        assert state.neighbors(0, "e") == []
+
+
+def test_reverse_edge_key_distinct():
+    assert reverse_edge_key("knows") == "~knows"
+    assert reverse_edge_key("knows") != "knows"

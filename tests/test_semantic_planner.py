@@ -1,0 +1,196 @@
+"""Unit tests for GSQL semantic analysis and plan construction."""
+
+import pytest
+
+from repro import Attribute, AttrType, GraphSchema, Metric
+from repro.errors import GSQLSemanticError
+from repro.gsql.parser import parse
+from repro.gsql.planner import build_plan, render_expr
+from repro.gsql.parser import parse_expression
+from repro.gsql.semantic import analyze_select, split_conjuncts
+
+
+@pytest.fixture
+def schema():
+    schema = GraphSchema()
+    schema.create_vertex_type(
+        "Post",
+        [
+            Attribute("id", AttrType.INT, primary_key=True),
+            Attribute("lang", AttrType.STRING),
+            Attribute("len", AttrType.INT),
+        ],
+    )
+    schema.create_vertex_type(
+        "Person", [Attribute("id", AttrType.INT, primary_key=True)]
+    )
+    schema.create_edge_type("hasCreator", "Post", "Person")
+    schema.create_edge_type("knows", "Person", "Person", directed=False)
+    schema.add_embedding_attribute("Post", "emb", dimension=8, metric=Metric.L2)
+    return schema
+
+
+def analyze(schema, text, known=()):
+    (block,) = parse(text)
+    return analyze_select(block, schema, known_vars=set(known))
+
+
+class TestShapeClassification:
+    def test_pure(self, schema):
+        info = analyze(schema, "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.emb, q) LIMIT 5;")
+        assert info.shape == "pure"
+        assert info.vector.kind == "topk"
+
+    def test_filtered_by_attribute(self, schema):
+        info = analyze(
+            schema,
+            'SELECT s FROM (s:Post) WHERE s.lang = "en" '
+            "ORDER BY VECTOR_DIST(s.emb, q) LIMIT 5;",
+        )
+        assert info.shape == "filtered"
+        assert "s" in info.pushdown
+
+    def test_filtered_by_pattern(self, schema):
+        info = analyze(
+            schema,
+            "SELECT t FROM (s:Person) <- [:hasCreator] - (t:Post) "
+            "ORDER BY VECTOR_DIST(t.emb, q) LIMIT 5;",
+        )
+        assert info.shape == "filtered"
+
+    def test_filtered_by_set_variable(self, schema):
+        info = analyze(
+            schema,
+            "SELECT s FROM (s:Candidates) ORDER BY VECTOR_DIST(s.emb, q) LIMIT 5;",
+            known=("Candidates",),
+        )
+        assert info.shape == "filtered"
+
+    def test_range(self, schema):
+        info = analyze(schema, "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.emb, q) < 3;")
+        assert info.shape == "range"
+        assert info.vector.kind == "range"
+
+    def test_similarity_join(self, schema):
+        info = analyze(
+            schema,
+            "SELECT s, t FROM (s:Post) - [:hasCreator] -> (u:Person) "
+            "<- [:hasCreator] - (t:Post) "
+            "ORDER BY VECTOR_DIST(s.emb, t.emb) LIMIT 5;",
+        )
+        assert info.shape == "similarity_join"
+        assert info.vector.right_alias == "t"
+
+    def test_graph(self, schema):
+        info = analyze(schema, 'SELECT s FROM (s:Post) WHERE s.lang = "en";')
+        assert info.shape == "graph"
+        assert info.vector is None
+
+    def test_symmetric_vector_dist_args(self, schema):
+        info = analyze(
+            schema, "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(q, s.emb) LIMIT 5;"
+        )
+        assert info.shape == "pure"
+        assert info.vector.alias == "s"
+
+
+class TestValidation:
+    def test_topk_requires_limit(self, schema):
+        with pytest.raises(GSQLSemanticError, match="LIMIT"):
+            analyze(schema, "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.emb, q);")
+
+    def test_unknown_embedding_attribute(self, schema):
+        with pytest.raises(GSQLSemanticError, match="no embedding attribute"):
+            analyze(schema, "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.ghost, q) LIMIT 5;")
+
+    def test_unknown_edge_type(self, schema):
+        with pytest.raises(GSQLSemanticError, match="unknown edge type"):
+            analyze(schema, "SELECT t FROM (s:Post) - [:ghost] -> (t:Person);")
+
+    def test_duplicate_alias(self, schema):
+        with pytest.raises(GSQLSemanticError, match="duplicate"):
+            analyze(schema, "SELECT s FROM (s:Post) - [:hasCreator] -> (s:Person);")
+
+    def test_vector_dist_arity(self, schema):
+        with pytest.raises(GSQLSemanticError, match="two arguments"):
+            analyze(schema, "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.emb) LIMIT 5;")
+
+    def test_incompatible_join_rejected(self, schema):
+        schema.add_embedding_attribute(
+            "Person", "pemb", dimension=4, metric=Metric.L2
+        )
+        from repro.errors import EmbeddingCompatibilityError
+
+        with pytest.raises(EmbeddingCompatibilityError):
+            analyze(
+                schema,
+                "SELECT s, t FROM (s:Post) - [:hasCreator] -> (t:Person) "
+                "ORDER BY VECTOR_DIST(s.emb, t.pemb) LIMIT 5;",
+            )
+
+
+class TestPushdownSplit:
+    def test_single_alias_conjuncts_pushed(self, schema):
+        info = analyze(
+            schema,
+            "SELECT t FROM (s:Person) <- [:hasCreator] - (t:Post) "
+            'WHERE s.id = 1 AND t.lang = "en" AND t.len > 5;',
+        )
+        assert len(info.pushdown["s"]) == 1
+        assert len(info.pushdown["t"]) == 2
+        assert info.residual == []
+
+    def test_multi_alias_residual(self, schema):
+        info = analyze(
+            schema,
+            "SELECT t FROM (s:Post) - [:hasCreator] -> (u:Person) "
+            "<- [:hasCreator] - (t:Post) WHERE s.len < t.len;",
+        )
+        assert info.residual
+        assert not info.pushdown
+
+    def test_split_conjuncts_flattens_ands(self):
+        expr = parse_expression("a = 1 AND b = 2 AND (c = 3 AND d = 4)")
+        assert len(split_conjuncts(expr)) == 4
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert len(split_conjuncts(expr)) == 1
+
+
+class TestPlans:
+    def test_pure_plan_text(self, schema):
+        info = analyze(schema, "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.emb, q) LIMIT k;")
+        assert build_plan(info).explain() == "EmbeddingAction[Top k, {s.emb}, q]"
+
+    def test_filtered_plan_bottom_up(self, schema):
+        info = analyze(
+            schema,
+            "SELECT t FROM (s:Person) <- [:hasCreator] - (t:Post) "
+            "WHERE s.id = 7 ORDER BY VECTOR_DIST(t.emb, q) LIMIT k;",
+        )
+        lines = build_plan(info).explain().splitlines()
+        assert lines[0].startswith("EmbeddingAction")
+        assert lines[-1] == "VertexAction[Person:s {s.id = 7}]"
+
+    def test_join_plan_has_heap(self, schema):
+        info = analyze(
+            schema,
+            "SELECT s, t FROM (s:Post) - [:hasCreator] -> (u:Person) "
+            "<- [:hasCreator] - (t:Post) "
+            "ORDER BY VECTOR_DIST(s.emb, t.emb) LIMIT 3;",
+        )
+        plan = build_plan(info)
+        assert plan.steps[0].op == "HeapMerge"
+        assert "HeapAccum[Top 3" in plan.explain()
+
+    def test_range_plan(self, schema):
+        info = analyze(schema, "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.emb, q) < 2.5;")
+        assert "EmbeddingAction[Range 2.5" in build_plan(info).explain()
+
+    def test_render_expr_forms(self):
+        assert render_expr(parse_expression('a.b = "x"')) == "a.b = 'x'"
+        assert render_expr(parse_expression("NOT a")) == "NOT a"
+        assert render_expr(parse_expression("f(1, 2)")) == "f(1, 2)"
+        assert render_expr(parse_expression("[1, 2]")) == "[1, 2]"
+        assert render_expr(parse_expression("@@m")) == "@@m"

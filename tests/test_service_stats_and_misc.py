@@ -1,0 +1,116 @@
+"""Remaining coverage: store stats, error paths, and misc plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import Metric, TigerVectorDB
+from repro.errors import ReproError, UnknownTypeError
+
+
+class TestStoreStats:
+    def test_stats_shape(self, loaded_post_db):
+        stats = loaded_post_db.service.store("Post", "content_emb").stats()
+        assert stats["vertex_type"] == "Post"
+        assert stats["attribute"] == "content_emb"
+        assert stats["segments"] == 4
+        assert stats["live_vectors"] == 200
+        assert stats["pending_deltas"] == 0
+        assert len(stats["index"]) == 4
+        assert all(s["num_vectors"] > 0 for s in stats["index"])
+
+    def test_pending_counts_after_writes(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        with db.begin() as txn:
+            txn.set_embedding("Post", 0, "content_emb", np.zeros(16, np.float32))
+            txn.set_embedding("Post", 1, "content_emb", np.zeros(16, np.float32))
+        assert store.stats()["pending_deltas"] == 2
+
+
+class TestServiceErrorPaths:
+    def test_store_for_unknown_attribute(self, post_db):
+        with pytest.raises(UnknownTypeError):
+            post_db.service.store("Post", "nope")
+
+    def test_store_for_unknown_type(self, post_db):
+        with pytest.raises(UnknownTypeError):
+            post_db.service.store("Ghost", "emb")
+
+    def test_store_identity_cached(self, post_db):
+        a = post_db.service.store("Post", "content_emb")
+        b = post_db.service.store("Post", "content_emb")
+        assert a is b
+
+    def test_segment_size_validation(self):
+        from repro import GraphSchema
+        from repro.graph.storage import GraphStore
+
+        with pytest.raises(ReproError):
+            GraphStore(GraphSchema(), segment_size=0)
+
+
+class TestGetEmbeddingWindows:
+    def test_latest_spans_all_stages(self, loaded_post_db):
+        """get_embedding default view covers memory, files, and snapshots."""
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        vid = db.vid_for("Post", 11)
+        # stage 1: in-memory delta
+        with db.begin() as txn:
+            txn.set_embedding("Post", 11, "content_emb", np.full(16, 1.0, np.float32))
+        assert store.get_embedding(vid)[0] == 1.0
+        # stage 2: flushed delta file
+        db.vacuum_manager.delta_merge(store)
+        assert store.get_embedding(vid)[0] == 1.0
+        # stage 3: merged into the index snapshot
+        db.vacuum_manager.index_merge(store)
+        assert store.get_embedding(vid)[0] == 1.0
+
+    def test_reader_before_first_vector(self, loaded_post_db):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        vid = db.vid_for("Post", 0)
+        assert store.get_embedding(vid, snapshot_tid=0) is None
+
+
+class TestMetricsConfiguration:
+    def test_ip_metric_end_to_end(self, rng):
+        db = TigerVectorDB(segment_size=32)
+        db.run_gsql(
+            "CREATE VERTEX D (id INT PRIMARY KEY);"
+            "ALTER VERTEX D ADD EMBEDDING ATTRIBUTE e "
+            "(DIMENSION = 4, METRIC = IP);"
+        )
+        assert db.schema.vertex_type("D").embedding("e").metric is Metric.IP
+        with db.begin() as txn:
+            for i in range(20):
+                txn.upsert_vertex("D", i, {})
+                txn.set_embedding("D", i, "e", rng.standard_normal(4))
+            # one vector with a huge inner product against the query axis
+            txn.upsert_vertex("D", 99, {})
+            txn.set_embedding("D", 99, "e", [10.0, 0, 0, 0])
+        db.vacuum()
+        r = db.run_gsql(
+            "SELECT s FROM (s:D) ORDER BY VECTOR_DIST(s.e, [1.0, 0, 0, 0]) LIMIT 1;"
+        )
+        assert r.result.ranking[0][0] == ("D", db.vid_for("D", 99))
+        db.close()
+
+    def test_cosine_metric_end_to_end(self, rng):
+        db = TigerVectorDB(segment_size=32)
+        db.run_gsql(
+            "CREATE VERTEX D (id INT PRIMARY KEY);"
+            "ALTER VERTEX D ADD EMBEDDING ATTRIBUTE e "
+            "(DIMENSION = 4, METRIC = COSINE);"
+        )
+        with db.begin() as txn:
+            txn.upsert_vertex("D", 1, {})
+            txn.set_embedding("D", 1, "e", [5.0, 0, 0, 0])  # same direction
+            txn.upsert_vertex("D", 2, {})
+            txn.set_embedding("D", 2, "e", [0.0, 1.0, 0, 0])
+        db.vacuum()
+        r = db.run_gsql(
+            "SELECT s FROM (s:D) ORDER BY VECTOR_DIST(s.e, [0.1, 0, 0, 0]) LIMIT 1;"
+        )
+        assert r.result.ranking[0][0] == ("D", db.vid_for("D", 1))
+        db.close()

@@ -1,0 +1,100 @@
+"""Tests for the interactive GSQL shell."""
+
+import io
+
+import pytest
+
+from repro.shell import GSQLShell
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    sh = GSQLShell(out=out)
+    yield sh, out
+    sh.db.close()
+
+
+def feed_all(sh, lines):
+    for line in lines:
+        if not sh.feed(line):
+            return False
+    return True
+
+
+class TestMetaCommands:
+    def test_help(self, shell):
+        sh, out = shell
+        sh.feed("\\h")
+        assert "meta-commands" in out.getvalue().lower()
+
+    def test_quit(self, shell):
+        sh, _ = shell
+        assert sh.feed("\\q") is False
+        assert sh.feed("exit") is False
+
+    def test_unknown_meta(self, shell):
+        sh, out = shell
+        sh.feed("\\bogus")
+        assert "unknown meta-command" in out.getvalue()
+
+    def test_seed_and_schema(self, shell):
+        sh, out = shell
+        sh.feed("\\seed 20 4")
+        sh.feed("\\schema")
+        text = out.getvalue()
+        assert "seeded 20 Item vertices" in text
+        assert "EMBEDDING emb: dim=4" in text
+
+    def test_seed_usage_error(self, shell):
+        sh, out = shell
+        sh.feed("\\seed nope")
+        assert "usage" in out.getvalue()
+
+
+class TestStatements:
+    def test_ddl_then_query(self, shell):
+        sh, out = shell
+        feed_all(sh, [
+            "CREATE VERTEX Doc (id INT PRIMARY KEY, title STRING);",
+            "\\seed 30 4",
+            "SELECT s FROM (s:Item) ORDER BY VECTOR_DIST(s.emb, [0,0,0,0]) LIMIT 2;",
+        ])
+        text = out.getvalue()
+        assert "Item(" in text
+        assert "dist=" in text
+
+    def test_multiline_statement(self, shell):
+        sh, out = shell
+        feed_all(sh, [
+            "CREATE VERTEX Doc (",
+            "  id INT PRIMARY KEY,",
+            "  title STRING",
+            ");",
+            "\\schema",
+        ])
+        assert "VERTEX Doc" in out.getvalue()
+
+    def test_error_reported_not_raised(self, shell):
+        sh, out = shell
+        sh.feed("SELECT x FROM;")
+        assert "error:" in out.getvalue()
+
+    def test_explain(self, shell):
+        sh, out = shell
+        sh.feed("\\seed 10 4")
+        sh.feed(
+            "\\explain SELECT s FROM (s:Item) "
+            "ORDER BY VECTOR_DIST(s.emb, [0,0,0,0]) LIMIT 2;"
+        )
+        assert "EmbeddingAction[Top 2" in out.getvalue()
+
+    def test_run_with_stream(self):
+        out = io.StringIO()
+        sh = GSQLShell(out=out)
+        stream = io.StringIO("\\seed 5 4\n\\q\n")
+        sh.run(input_stream=stream)
+        text = out.getvalue()
+        assert "seeded 5" in text
+        assert "bye" in text
+        sh.db.close()

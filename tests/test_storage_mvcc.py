@@ -1,0 +1,264 @@
+"""Tests for segmented storage, MVCC transactions, vacuum, and the WAL."""
+
+import numpy as np
+import pytest
+
+from repro import Attribute, AttrType, GraphSchema, Metric
+from repro.errors import TransactionError
+from repro.graph.storage import GraphStore
+
+
+def make_schema():
+    schema = GraphSchema()
+    schema.create_vertex_type(
+        "Person",
+        [
+            Attribute("id", AttrType.INT, primary_key=True),
+            Attribute("name", AttrType.STRING),
+            Attribute("age", AttrType.INT),
+        ],
+    )
+    schema.create_edge_type("knows", "Person", "Person")
+    schema.add_embedding_attribute("Person", "emb", dimension=4, metric=Metric.L2)
+    return schema
+
+
+@pytest.fixture
+def store():
+    return GraphStore(make_schema(), segment_size=4)
+
+
+class TestBasicCrud:
+    def test_insert_and_read(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "a", "age": 30})
+        with store.snapshot() as snap:
+            vid = snap.vid_for_pk("Person", 1)
+            assert snap.get_attr("Person", vid, "name") == "a"
+            assert snap.get_attr("Person", vid, "age") == 30
+
+    def test_partial_upsert_merges(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "a", "age": 30})
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"age": 31})
+        with store.snapshot() as snap:
+            vid = snap.vid_for_pk("Person", 1)
+            assert snap.get_attr("Person", vid, "name") == "a"
+            assert snap.get_attr("Person", vid, "age") == 31
+
+    def test_delete_vertex(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "a"})
+        with store.begin() as txn:
+            txn.delete_vertex("Person", 1)
+        with store.snapshot() as snap:
+            assert snap.vid_for_pk("Person", 1) is None
+            assert snap.count("Person") == 0
+
+    def test_multi_segment_allocation(self, store):
+        with store.begin() as txn:
+            for i in range(10):  # segment_size=4 -> 3 segments
+                txn.upsert_vertex("Person", i, {"name": f"p{i}"})
+        with store.snapshot() as snap:
+            assert snap.num_segments("Person") == 3
+            assert snap.count("Person") == 10
+
+    def test_edges_and_reverse(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {})
+            txn.upsert_vertex("Person", 2, {})
+            txn.add_edge("knows", 1, 2)
+        with store.snapshot() as snap:
+            v1 = snap.vid_for_pk("Person", 1)
+            v2 = snap.vid_for_pk("Person", 2)
+            assert snap.neighbors("Person", v1, "knows") == [v2]
+            assert snap.neighbors("Person", v2, "knows", reverse=True) == [v1]
+            assert snap.degree("Person", v1, "knows") == 1
+
+    def test_delete_edge(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {})
+            txn.upsert_vertex("Person", 2, {})
+            txn.add_edge("knows", 1, 2)
+        with store.begin() as txn:
+            txn.delete_edge("knows", 1, 2)
+        with store.snapshot() as snap:
+            v1 = snap.vid_for_pk("Person", 1)
+            assert snap.neighbors("Person", v1, "knows") == []
+
+    def test_edge_requires_vertices(self, store):
+        txn = store.begin()
+        txn.add_edge("knows", 1, 2)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+
+class TestTransactionSemantics:
+    def test_uncommitted_invisible(self, store):
+        txn = store.begin()
+        txn.upsert_vertex("Person", 1, {"name": "a"})
+        with store.snapshot() as snap:
+            assert snap.vid_for_pk("Person", 1) is None
+        txn.commit()
+        with store.snapshot() as snap:
+            assert snap.vid_for_pk("Person", 1) is not None
+
+    def test_rollback_discards(self, store):
+        txn = store.begin()
+        txn.upsert_vertex("Person", 1, {"name": "a"})
+        txn.rollback()
+        with store.snapshot() as snap:
+            assert snap.count("Person") == 0
+
+    def test_write_after_commit_fails(self, store):
+        txn = store.begin()
+        txn.upsert_vertex("Person", 1, {})
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.upsert_vertex("Person", 2, {})
+
+    def test_context_manager_rolls_back_on_error(self, store):
+        with pytest.raises(ValueError):
+            with store.begin() as txn:
+                txn.upsert_vertex("Person", 1, {})
+                raise ValueError("boom")
+        with store.snapshot() as snap:
+            assert snap.count("Person") == 0
+
+    def test_tids_monotonic(self, store):
+        tids = []
+        for i in range(3):
+            txn = store.begin()
+            txn.upsert_vertex("Person", i, {})
+            tids.append(txn.commit())
+        assert tids == sorted(tids)
+        assert len(set(tids)) == 3
+
+
+class TestSnapshotIsolation:
+    def test_old_snapshot_sees_old_value(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "old"})
+        snap = store.snapshot()
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "new"})
+        vid = snap.vid_for_pk("Person", 1)
+        assert snap.get_attr("Person", vid, "name") == "old"
+        with store.snapshot() as fresh:
+            assert fresh.get_attr("Person", vid, "name") == "new"
+        snap.release()
+
+    def test_snapshot_survives_vacuum(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "v1"})
+        snap = store.snapshot()
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "v2"})
+        store.vacuum()
+        vid = snap.vid_for_pk("Person", 1)
+        assert snap.get_attr("Person", vid, "name") == "v1"
+        snap.release()
+
+    def test_vacuum_folds_deltas(self, store):
+        with store.begin() as txn:
+            for i in range(8):
+                txn.upsert_vertex("Person", i, {"age": i})
+        assert store.pending_delta_count() == 8
+        rebuilt = store.vacuum()
+        assert rebuilt == 2  # 8 vertices / segment_size 4
+        # after GC with no old snapshots the deltas are gone
+        assert store.pending_delta_count() == 0
+        with store.snapshot() as snap:
+            assert snap.count("Person") == 8
+
+    def test_deleted_invisible_after_vacuum(self, store):
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {})
+            txn.upsert_vertex("Person", 2, {})
+        with store.begin() as txn:
+            txn.delete_vertex("Person", 1)
+        store.vacuum()
+        with store.snapshot() as snap:
+            assert snap.count("Person") == 1
+
+
+class TestEmbeddingHook:
+    def test_hook_called_with_same_tid(self, store):
+        calls = []
+        store.register_embedding_hook(lambda tid, ops: calls.append((tid, ops)))
+        txn = store.begin()
+        txn.upsert_vertex("Person", 1, {})
+        txn.set_embedding("Person", 1, "emb", [1, 2, 3, 4])
+        tid = txn.commit()
+        assert len(calls) == 1
+        assert calls[0][0] == tid
+        action, vtype, vid, attr, vector = calls[0][1][0]
+        assert (action, vtype, attr) == ("upsert", "Person", "emb")
+        assert np.allclose(vector, [1, 2, 3, 4])
+
+    def test_vertex_delete_cascades_embedding_delete(self, store):
+        calls = []
+        store.register_embedding_hook(lambda tid, ops: calls.extend(ops))
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {})
+            txn.set_embedding("Person", 1, "emb", [0, 0, 0, 0])
+        with store.begin() as txn:
+            txn.delete_vertex("Person", 1)
+        deletes = [op for op in calls if op[0] == "delete"]
+        assert len(deletes) == 1
+
+    def test_embedding_dimension_validated(self, store):
+        txn = store.begin()
+        txn.upsert_vertex("Person", 1, {})
+        from repro.errors import DimensionMismatchError
+
+        with pytest.raises(DimensionMismatchError):
+            txn.set_embedding("Person", 1, "emb", [1.0, 2.0])
+
+
+class TestWalRecovery:
+    def test_recover_from_wal(self, tmp_path):
+        wal = tmp_path / "store.wal"
+        store = GraphStore(make_schema(), segment_size=4, wal_path=wal)
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "a"})
+            txn.upsert_vertex("Person", 2, {"name": "b"})
+            txn.add_edge("knows", 1, 2)
+        with store.begin() as txn:
+            txn.delete_vertex("Person", 2)
+        store.wal.close()
+
+        recovered = GraphStore.recover(make_schema(), wal, segment_size=4)
+        with recovered.snapshot() as snap:
+            assert snap.vid_for_pk("Person", 1) is not None
+            assert snap.vid_for_pk("Person", 2) is None
+            assert snap.count("Person") == 1
+        assert recovered.last_tid == store.last_tid
+
+    def test_recover_replays_embeddings_through_hook(self, tmp_path):
+        wal = tmp_path / "store.wal"
+        store = GraphStore(make_schema(), segment_size=4, wal_path=wal)
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {})
+            txn.set_embedding("Person", 1, "emb", [1, 2, 3, 4])
+        store.wal.close()
+        seen = []
+        GraphStore.recover(
+            make_schema(), wal, segment_size=4,
+            embedding_hook=lambda tid, ops: seen.extend(ops),
+        )
+        assert len(seen) == 1
+        assert np.allclose(seen[0][4], [1, 2, 3, 4])
+
+    def test_recovery_idempotent(self, tmp_path):
+        wal = tmp_path / "store.wal"
+        store = GraphStore(make_schema(), segment_size=4, wal_path=wal)
+        with store.begin() as txn:
+            txn.upsert_vertex("Person", 1, {"name": "a"})
+        store.wal.close()
+        first = GraphStore.recover(make_schema(), wal, segment_size=4)
+        first.wal.close()
+        second = GraphStore.recover(make_schema(), wal, segment_size=4)
+        with second.snapshot() as snap:
+            assert snap.count("Person") == 1

@@ -1,0 +1,122 @@
+"""Tests for the distance kernels and value types."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import DimensionMismatchError, VectorSearchError
+from repro.types import (
+    DataType,
+    Metric,
+    batch_distances,
+    distance,
+    normalize,
+    pairwise_distances,
+)
+
+
+class TestBatchDistances:
+    def test_l2_is_squared_euclidean(self):
+        q = np.array([0.0, 0.0], dtype=np.float32)
+        vecs = np.array([[3.0, 4.0], [1.0, 0.0]], dtype=np.float32)
+        out = batch_distances(q, vecs, Metric.L2)
+        assert out == pytest.approx([25.0, 1.0])
+
+    def test_ip_distance(self):
+        q = np.array([1.0, 2.0], dtype=np.float32)
+        vecs = np.array([[1.0, 2.0], [0.0, 0.0]], dtype=np.float32)
+        out = batch_distances(q, vecs, Metric.IP)
+        assert out == pytest.approx([1.0 - 5.0, 1.0])
+
+    def test_cosine_identical_is_zero(self):
+        q = np.array([1.0, 1.0], dtype=np.float32)
+        out = batch_distances(q, np.array([[2.0, 2.0]], dtype=np.float32), Metric.COSINE)
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_orthogonal_is_one(self):
+        q = np.array([1.0, 0.0], dtype=np.float32)
+        out = batch_distances(q, np.array([[0.0, 5.0]], dtype=np.float32), Metric.COSINE)
+        assert out[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_cosine_zero_vector_safe(self):
+        q = np.zeros(3, dtype=np.float32)
+        out = batch_distances(q, np.ones((2, 3), dtype=np.float32), Metric.COSINE)
+        assert np.all(np.isfinite(out))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            batch_distances(np.zeros(3), np.zeros((2, 4)), Metric.L2)
+
+    def test_requires_2d_matrix(self):
+        with pytest.raises(VectorSearchError):
+            batch_distances(np.zeros(3), np.zeros(3), Metric.L2)
+
+
+class TestPairwise:
+    def test_matches_batch(self, rng):
+        a = rng.standard_normal((5, 8)).astype(np.float32)
+        b = rng.standard_normal((7, 8)).astype(np.float32)
+        for metric in Metric:
+            full = pairwise_distances(a, b, metric)
+            for i in range(5):
+                row = batch_distances(a[i], b, metric)
+                assert np.allclose(full[i], row, atol=1e-4)
+
+    def test_l2_self_diagonal_zero(self, rng):
+        a = rng.standard_normal((4, 6)).astype(np.float32)
+        full = pairwise_distances(a, a, Metric.L2)
+        assert np.allclose(np.diag(full), 0.0, atol=1e-3)
+
+
+class TestNormalize:
+    def test_unit_norm(self, rng):
+        v = rng.standard_normal((3, 5)).astype(np.float32)
+        out = normalize(v)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-5)
+
+    def test_zero_vector_unchanged(self):
+        out = normalize(np.zeros(4, dtype=np.float32))
+        assert np.all(out == 0)
+
+    def test_1d_input(self):
+        out = normalize(np.array([3.0, 4.0]))
+        assert out == pytest.approx([0.6, 0.8])
+
+
+class TestDataType:
+    def test_numpy_dtype(self):
+        assert DataType.FLOAT.numpy_dtype == np.float32
+        assert DataType.DOUBLE.numpy_dtype == np.float64
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    vecs=hnp.arrays(
+        np.float32,
+        st.tuples(st.integers(1, 10), st.just(8)),
+        elements=st.floats(-100, 100, width=32),
+    )
+)
+def test_l2_nonnegative_property(vecs):
+    q = vecs[0]
+    out = batch_distances(q, vecs, Metric.L2)
+    assert np.all(out >= 0)
+    assert out[0] == pytest.approx(0.0, abs=1e-2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    vecs=hnp.arrays(
+        np.float32,
+        st.tuples(st.integers(2, 8), st.just(6)),
+        elements=st.floats(-50, 50, width=32),
+    )
+)
+def test_distance_symmetry_property(vecs):
+    a, b = vecs[0], vecs[1]
+    for metric in (Metric.L2, Metric.COSINE):
+        assert distance(a, b, metric) == pytest.approx(
+            distance(b, a, metric), abs=1e-3
+        )

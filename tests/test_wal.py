@@ -1,0 +1,69 @@
+"""Tests for the write-ahead log."""
+
+import numpy as np
+import pytest
+
+from repro.graph.wal import WriteAheadLog, _jsonify, _unjsonify
+
+
+class TestJsonRoundtrip:
+    def test_ndarray(self):
+        arr = np.array([1.5, 2.5], dtype=np.float32)
+        out = _unjsonify(_jsonify(arr))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float32
+        assert np.allclose(out, arr)
+
+    def test_nested_structures(self):
+        value = {"a": [1, (2, 3)], "b": {"c": np.array([1.0])}}
+        out = _unjsonify(_jsonify(value))
+        assert out["a"] == [1, [2, 3]]
+        assert np.allclose(out["b"]["c"], [1.0])
+
+    def test_numpy_scalars(self):
+        assert _jsonify(np.int64(7)) == 7
+        assert _jsonify(np.float32(1.5)) == 1.5
+
+
+class TestMemoryLog:
+    def test_append_replay(self):
+        wal = WriteAheadLog()
+        wal.append(1, [("upsert_vertex", "V", 1, {"x": 2})])
+        wal.append(2, [("delete_vertex", "V", 1)])
+        replayed = list(wal.replay())
+        assert [tid for tid, _ in replayed] == [1, 2]
+        assert replayed[0][1][0][0] == "upsert_vertex"
+
+
+class TestFileLog:
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(1, [("upsert_vertex", "V", 1, {"emb": np.ones(3)})])
+        with WriteAheadLog(path) as wal:
+            wal.append(2, [("delete_vertex", "V", 1)])
+        replayed = list(WriteAheadLog(path).replay())
+        assert len(replayed) == 2
+        vec = replayed[0][1][0][3]["emb"]
+        assert np.allclose(vec, 1.0)
+
+    def test_replay_missing_file(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "nope" / "log.wal")
+        wal.close()
+        (tmp_path / "nope" / "log.wal").unlink()
+        assert list(WriteAheadLog.__new__(WriteAheadLog).__class__(tmp_path / "other.wal").replay()) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(1, [("noop",)])
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(list(WriteAheadLog(path).replay())) == 1
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "log.wal"
+        wal = WriteAheadLog(path)
+        wal.append(1, [("noop",)])
+        wal.close()
+        assert path.exists()
