@@ -1,0 +1,30 @@
+"""Concurrency-invariant analysis for the TigerVector reproduction.
+
+Two halves (see DESIGN.md for the rule catalog and paper mapping):
+
+- a pluggable AST lint framework — ``python -m repro.analysis lint src/`` or
+  the ``repro-lint`` console script — with project-specific rules R001–R007
+  guarding the paper's MVCC/vacuum/HNSW invariants;
+- a runtime lock-order :mod:`~repro.analysis.sanitizer` that instruments
+  ``threading`` locks at test time (``REPRO_SANITIZE=1``) and reports
+  lock-order inversions and held-across-commit violations.
+"""
+
+from .cli import LintResult, lint_paths, main
+from .findings import Finding, SuppressionIndex
+from .lockgraph import LockOrderGraph
+from .rules import REGISTRY, Rule, lint_source, make_rules, register
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "LockOrderGraph",
+    "REGISTRY",
+    "Rule",
+    "SuppressionIndex",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "make_rules",
+    "register",
+]

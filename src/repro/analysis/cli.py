@@ -1,0 +1,148 @@
+"""Command-line linter: ``python -m repro.analysis lint src/`` or ``repro-lint``.
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding, SuppressionIndex
+from .rules import REGISTRY, ModuleInfo, make_rules, run_rules
+
+__all__ = ["LintResult", "lint_paths", "main"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def _iter_py_files(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_paths(paths, rule_ids=None) -> LintResult:
+    """Lint every ``*.py`` under ``paths``; applies noqa suppression."""
+    result = LintResult()
+    rules = make_rules(rule_ids)
+    modules: list[tuple[ModuleInfo, SuppressionIndex]] = []
+    for file_path in _iter_py_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            result.errors.append(f"{_display_path(file_path)}: {exc}")
+            continue
+        module = ModuleInfo(path=_display_path(file_path), source=source, tree=tree)
+        modules.append((module, SuppressionIndex.from_module(source, tree)))
+    result.files = len(modules)
+    suppressions = {module.path: index for module, index in modules}
+    raw = run_rules([module for module, _ in modules], rules)
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule_id)):
+        index = suppressions.get(finding.path)
+        if index is not None and index.is_suppressed(finding.line, finding.rule_id):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def _cmd_lint(args) -> int:
+    rule_ids = args.select.split(",") if args.select else None
+    if rule_ids is not None:
+        unknown = [r for r in rule_ids if r not in REGISTRY]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    try:
+        result = lint_paths(args.paths, rule_ids)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in result.findings],
+                    "suppressed": [f.as_dict() for f in result.suppressed],
+                    "files": result.files,
+                    "errors": result.errors,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(
+            f"repro-lint: {len(result.findings)} finding(s), "
+            f"{len(result.suppressed)} suppressed, {result.files} file(s) checked"
+        )
+    if result.errors:
+        return 2
+    return 1 if result.findings else 0
+
+
+def _cmd_rules(_args) -> int:
+    for rule_id in sorted(REGISTRY):
+        cls = REGISTRY[rule_id]
+        print(f"{rule_id}  {cls.title}")
+        print(f"      guards: {cls.paper_ref}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Concurrency-invariant linter for the TigerVector reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lint = sub.add_parser("lint", help="lint python files/directories")
+    lint.add_argument("paths", nargs="*", default=[os.path.join("src", "repro")])
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--select", default=None, help="comma-separated rule ids (default: all)"
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    rules = sub.add_parser("rules", help="print the rule catalog")
+    rules.set_defaults(func=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Findings and suppression machinery for the repro lint framework.
+
+A :class:`Finding` is one structured lint result: file, line, rule id, and
+message.  Suppression uses ``# repro: noqa[R001]`` comments:
+
+- on an ordinary line, the suppression covers that physical line;
+- on a ``def``/``class`` header line, it covers the whole body (used for
+  "caller holds the lock" style justifications);
+- ``# repro: noqa`` with no rule list suppresses every rule in scope.
+
+Suppressions are expected to carry a justification after the bracket, e.g.
+``# repro: noqa[R001] -- caller holds _write_lock``; the linter counts
+suppressed findings separately so blanket suppression stays visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "SuppressionIndex", "NOQA_RE"]
+
+#: Matches ``repro: noqa`` comments with an optional bracketed rule list.
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint finding."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class _Span:
+    """Lines ``[start, end]`` where ``rules`` (or all, if None) are suppressed."""
+
+    start: int
+    end: int
+    rules: frozenset[str] | None
+
+
+@dataclass
+class SuppressionIndex:
+    """Resolved ``repro: noqa`` spans for one module."""
+
+    spans: list[_Span] = field(default_factory=list)
+
+    @classmethod
+    def from_module(cls, source: str, tree: ast.Module) -> "SuppressionIndex":
+        index = cls()
+        # Map a def/class header line to its body extent so a noqa on the
+        # header suppresses the whole block.
+        block_extent: dict[int, int] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                block_extent[node.lineno] = node.end_lineno or node.lineno
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = NOQA_RE.search(line)
+            if not match:
+                continue
+            rules = match.group("rules")
+            rule_set = (
+                frozenset(r.strip() for r in rules.split(",") if r.strip())
+                if rules
+                else None
+            )
+            end = block_extent.get(lineno, lineno)
+            index.spans.append(_Span(lineno, end, rule_set))
+        return index
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        for span in self.spans:
+            if span.start <= line <= span.end and (
+                span.rules is None or rule_id in span.rules
+            ):
+                return True
+        return False

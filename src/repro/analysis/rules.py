@@ -1,0 +1,743 @@
+"""Project-specific concurrency-invariant lint rules.
+
+Each rule guards one invariant the paper's correctness story depends on
+(PAPER.md Sec. 4.3 is the anchor): atomic mixed graph/vector commits under a
+shared TID, snapshot-pinned reads, and the two-stage vacuum swapping index
+snapshots under live queries.  The rules are AST-based and pluggable: a rule
+subclasses :class:`Rule`, registers with :func:`register`, and either emits
+findings per module (``visit_module``) or accumulates cross-module state and
+emits in ``finalize`` (R002 builds a whole-project lock-order graph).
+
+Rule catalog
+------------
+- **R001** shared mutable attribute mutated outside the owning class's locks
+- **R002** static lock-order inversion (cycle in the acquisition-order graph)
+- **R003** query-layer code reaching into private MVCC state, bypassing
+  Snapshot TID visibility
+- **R004** wall-clock reads inside commit/vacuum decision paths
+- **R005** float ``==``/``!=`` on distances or scores
+- **R006** bare ``except:`` / silent ``except Exception: pass``
+- **R007** mutable default arguments
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from .findings import Finding
+from .lockgraph import LockOrderGraph
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "REGISTRY",
+    "register",
+    "make_rules",
+    "run_rules",
+    "lint_source",
+]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file handed to every rule."""
+
+    path: str  # display path (repo-relative when possible)
+    source: str
+    tree: ast.Module
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    ``visit_module`` runs once per file and returns findings local to it;
+    ``finalize`` runs after every file has been visited and returns findings
+    that need whole-project state.  Stateful rules must be instantiated fresh
+    per lint run (:func:`make_rules` does that).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    #: Paper section whose invariant this rule protects (see DESIGN.md).
+    paper_ref: str = ""
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        return []
+
+    def finalize(self) -> list[Finding]:
+        return []
+
+
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry (plugin hook)."""
+    if not cls.rule_id:
+        raise ValueError("rule must define rule_id")
+    if cls.rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def make_rules(rule_ids=None) -> list[Rule]:
+    """Fresh rule instances, optionally restricted to ``rule_ids``."""
+    selected = sorted(REGISTRY) if rule_ids is None else list(rule_ids)
+    return [REGISTRY[rule_id]() for rule_id in selected]
+
+
+def run_rules(modules, rules) -> list[Finding]:
+    """Run ``rules`` over ``modules``; returns unsorted raw findings."""
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            findings.extend(rule.visit_module(module))
+    for rule in rules:
+        findings.extend(rule.finalize())
+    return findings
+
+
+def lint_source(source: str, path: str = "<snippet>", rule_ids=None) -> list[Finding]:
+    """Lint one source string (test/fixture helper); noqa is NOT applied."""
+    module = ModuleInfo(path=path, source=source, tree=ast.parse(source))
+    return sorted(
+        run_rules([module], make_rules(rule_ids)), key=lambda f: (f.path, f.line, f.rule_id)
+    )
+
+
+# --------------------------------------------------------------------------
+# shared AST helpers
+# --------------------------------------------------------------------------
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """Attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+_LOCK_CTOR_SUFFIXES = ("lock", "rlock", "condition", "semaphore")
+
+_MUTABLE_CTOR_NAMES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "ordereddict",
+    "counter",
+}
+
+_NDARRAY_CTOR_NAMES = {
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "array",
+    "arange",
+    "asarray",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+    "eye",
+}
+
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "sort",
+    "reverse",
+    "fill",
+}
+
+
+def _is_lock_ctor(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    name = _dotted_name(value.func)
+    if name is None:
+        return False
+    return name.split(".")[-1].lower().endswith(_LOCK_CTOR_SUFFIXES)
+
+
+def _is_mutable_ctor(value: ast.AST) -> bool:
+    if isinstance(
+        value,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted_name(value.func)
+        if name is None:
+            return False
+        leaf = name.split(".")[-1].lower()
+        return leaf in _MUTABLE_CTOR_NAMES or leaf in _NDARRAY_CTOR_NAMES
+    return False
+
+
+def _class_locks_and_mutables(
+    cls: ast.ClassDef,
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Lock attrs and shared-mutable attrs assigned in ``__init__``."""
+    locks: dict[str, int] = {}
+    mutables: dict[str, int] = {}
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            for node in ast.walk(item):
+                targets: list[ast.AST] = []
+                value: ast.AST | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                if value is None:
+                    continue
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    if _is_lock_ctor(value):
+                        locks[attr] = node.lineno
+                    elif _is_mutable_ctor(value):
+                        mutables[attr] = node.lineno
+    return locks, mutables
+
+
+def _methods(cls: ast.ClassDef):
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def _method_enters_lock(method: ast.AST, lock_attrs) -> bool:
+    """True when the method enters ``with self.<lock>`` or calls acquire."""
+    for node in ast.walk(method):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr in lock_attrs:
+                    return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "acquire"
+                and _self_attr(func.value) in lock_attrs
+            ):
+                return True
+    return False
+
+
+def _mutation_target(node: ast.AST, tracked) -> tuple[str, int] | None:
+    """``(attr, line)`` when ``node`` mutates a tracked ``self.<attr>``."""
+
+    def base_attr(target: ast.AST) -> str | None:
+        attr = _self_attr(target)
+        if attr is not None:
+            return attr
+        if isinstance(target, ast.Subscript):
+            return _self_attr(target.value)
+        return None
+
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            attr = base_attr(target)
+            if attr in tracked:
+                return attr, node.lineno
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        attr = base_attr(node.target)
+        if attr in tracked:
+            return attr, node.lineno
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = base_attr(target)
+            if attr in tracked:
+                return attr, node.lineno
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            owner = func.value
+            attr = _self_attr(owner)
+            if attr is None and isinstance(owner, ast.Subscript):
+                # e.g. ``self._pk_index[vtype].pop(pk)`` mutates shared state
+                # one subscript deep.
+                attr = _self_attr(owner.value)
+            if attr in tracked:
+                return attr, node.lineno
+    return None
+
+
+# --------------------------------------------------------------------------
+# R001
+# --------------------------------------------------------------------------
+
+_R001_EXEMPT_METHODS = {
+    "__init__",
+    "__getstate__",
+    "__setstate__",
+    "__reduce__",
+    "__del__",
+    "__repr__",
+}
+
+
+@register
+class SharedMutableWithoutLock(Rule):
+    """A lock-owning class mutates shared mutable state outside any lock."""
+
+    rule_id = "R001"
+    title = "shared mutable attribute mutated outside the owning class's locks"
+    paper_ref = "Sec. 4.3 (atomic commits; vacuum/reader coexistence)"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            locks, mutables = _class_locks_and_mutables(node)
+            if not locks or not mutables:
+                continue
+            for method in _methods(node):
+                if method.name in _R001_EXEMPT_METHODS:
+                    continue
+                if _method_enters_lock(method, locks):
+                    continue
+                reported: set[str] = set()
+                for sub in ast.walk(method):
+                    hit = _mutation_target(sub, mutables)
+                    if hit is None or hit[0] in reported:
+                        continue
+                    attr, line = hit
+                    reported.add(attr)
+                    lock_names = ", ".join(sorted(locks))
+                    findings.append(
+                        Finding(
+                            module.path,
+                            line,
+                            self.rule_id,
+                            f"'{node.name}.{method.name}' mutates shared "
+                            f"'self.{attr}' without entering any of the "
+                            f"class's locks ({lock_names})",
+                        )
+                    )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R002
+# --------------------------------------------------------------------------
+
+
+@register
+class LockOrderInversionStatic(Rule):
+    """Static lock-order graph over ``with self.<lock>`` nesting.
+
+    Edges come from (a) syntactically nested ``with`` blocks and (b) one
+    level of intra-class propagation: holding lock L while calling a method
+    of the same class that acquires lock M adds ``L -> M``.  A cycle in the
+    resulting whole-project graph is an ordering inversion.
+    """
+
+    rule_id = "R002"
+    title = "lock acquisition order inverts an order established elsewhere"
+    paper_ref = "Sec. 4.3 (commit vs. two-stage vacuum interleaving)"
+
+    def __init__(self):
+        self._graph = LockOrderGraph()
+        # (class, holder_lock, callee_method, site) pending resolution
+        self._pending: list[tuple[str, str, str, str]] = []
+        # class -> method -> set of lock attrs it acquires
+        self._acquires: dict[str, dict[str, set[str]]] = {}
+        self._reported: set[frozenset[str]] = set()
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks, _ = _class_locks_and_mutables(cls)
+            if not locks:
+                continue
+            per_method = self._acquires.setdefault(cls.name, {})
+            for method in _methods(cls):
+                acquired: set[str] = set()
+                for stmt in method.body:
+                    self._visit(module, cls.name, stmt, [], locks, acquired, findings)
+                per_method[method.name] = acquired
+        return findings
+
+    def _visit(self, module, cls_name, node, held, locks, acquired, findings):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            entered: list[str] = []
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr in locks:
+                    acquired.add(attr)
+                    new = f"{cls_name}.{attr}"
+                    site = f"{module.path}:{node.lineno}"
+                    for holder in held + entered:
+                        self._add_edge(
+                            holder, new, site, findings, module.path, node.lineno
+                        )
+                    entered.append(new)
+                else:
+                    self._visit(
+                        module, cls_name, item.context_expr, held, locks, acquired, findings
+                    )
+            for stmt in node.body:
+                self._visit(
+                    module, cls_name, stmt, held + entered, locks, acquired, findings
+                )
+            return
+        if isinstance(node, ast.Call) and held:
+            callee = _self_attr(node.func)
+            if callee is not None:
+                site = f"{module.path}:{node.lineno}"
+                for holder in held:
+                    self._pending.append((cls_name, holder, callee, site))
+        for child in ast.iter_child_nodes(node):
+            self._visit(module, cls_name, child, held, locks, acquired, findings)
+
+    def _add_edge(self, holder, new, site, findings, path, lineno):
+        inversion = self._graph.add_edge(holder, new, site)
+        key = frozenset((holder, new))
+        if inversion and key not in self._reported:
+            self._reported.add(key)
+            chain = " -> ".join(inversion + [new])
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    self.rule_id,
+                    f"acquiring {new} while holding {holder} inverts the "
+                    f"order established elsewhere ({chain}; first seen at "
+                    f"{self._graph.edge_info(inversion[0], inversion[1])})",
+                )
+            )
+        return inversion
+
+    def finalize(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls_name, holder, callee, site in self._pending:
+            for lock_attr in self._acquires.get(cls_name, {}).get(callee, ()):
+                new = f"{cls_name}.{lock_attr}"
+                if new == holder:
+                    continue
+                path, _, line = site.rpartition(":")
+                self._add_edge(holder, new, site, findings, path, int(line))
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R003
+# --------------------------------------------------------------------------
+
+#: Private MVCC internals that query-layer code must reach through a
+#: Snapshot (TID-pinned) instead of touching directly.
+_R003_PRIVATE_STATE = {
+    "_segments",
+    "_current",
+    "_retired",
+    "_pk_index",
+    "_next_vid",
+    "_active_snapshots",
+    "_records",
+    "_tids",
+    "delta_store",
+    "delta_files",
+    "retired_delta_files",
+}
+
+
+@register
+class SnapshotVisibilityBypass(Rule):
+    """Query-layer code reading segment/delta state without a Snapshot."""
+
+    rule_id = "R003"
+    title = "direct segment/delta state access bypassing Snapshot TID visibility"
+    paper_ref = "Sec. 4.3 (snapshot-pinned reads / MVCC visibility)"
+
+    def _applies(self, module: ModuleInfo) -> bool:
+        path = module.posix_path
+        return (
+            "/gsql/" in path
+            or path.startswith("gsql/")
+            or path.endswith("core/search.py")
+        )
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        if not self._applies(module):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _R003_PRIVATE_STATE:
+                continue
+            # Touching your *own* private state is fine; reaching into
+            # another object's MVCC internals is the bypass.
+            if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+                continue
+            findings.append(
+                Finding(
+                    module.path,
+                    node.lineno,
+                    self.rule_id,
+                    f"direct access to '.{node.attr}' bypasses Snapshot TID "
+                    "visibility; read through a Snapshot / store API instead",
+                )
+            )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R004
+# --------------------------------------------------------------------------
+
+_R004_BAD_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+}
+
+_R004_FUNC_PAT = re.compile(r"commit|vacuum|merge|gc|recover|\bcut\b", re.IGNORECASE)
+
+_R004_MODULES = ("vacuum.py", "storage.py", "txn.py", "delta.py", "wal.py")
+
+
+@register
+class WallClockInCommitPath(Rule):
+    """Wall-clock reads inside commit or vacuum decision paths.
+
+    Visibility and reclamation decisions must be driven by TIDs (or a
+    monotonic clock for durations); wall-clock time goes backwards under
+    NTP and is not comparable across machines.
+    """
+
+    rule_id = "R004"
+    title = "wall-clock read inside a commit/vacuum decision path"
+    paper_ref = "Sec. 4.3 (TID-ordered commits and vacuum reclamation)"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        module_critical = module.posix_path.endswith(_R004_MODULES)
+        findings: list[Finding] = []
+        self._visit(module, module.tree, [], module_critical, findings)
+        return findings
+
+    def _visit(self, module, node, func_stack, module_critical, findings):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit(
+                    module, child, func_stack + [child.name], module_critical, findings
+                )
+                continue
+            if isinstance(child, ast.Call):
+                name = _dotted_name(child.func)
+                if name in _R004_BAD_CALLS and (
+                    module_critical
+                    or any(_R004_FUNC_PAT.search(f) for f in func_stack)
+                ):
+                    where = func_stack[-1] if func_stack else "<module>"
+                    findings.append(
+                        Finding(
+                            module.path,
+                            child.lineno,
+                            self.rule_id,
+                            f"'{name}()' in '{where}' is wall-clock; commit/"
+                            "vacuum decisions must use TIDs or a monotonic "
+                            "clock (time.monotonic / time.perf_counter)",
+                        )
+                    )
+            self._visit(module, child, func_stack, module_critical, findings)
+
+
+# --------------------------------------------------------------------------
+# R005
+# --------------------------------------------------------------------------
+
+_R005_NAME_PAT = re.compile(r"dist|score|similarity|cosine", re.IGNORECASE)
+
+
+def _distance_like(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id if _R005_NAME_PAT.search(node.id) else None
+    if isinstance(node, ast.Attribute):
+        return node.attr if _R005_NAME_PAT.search(node.attr) else None
+    if isinstance(node, ast.Subscript):
+        return _distance_like(node.value)
+    if isinstance(node, ast.Call):
+        name = _dotted_name(node.func)
+        if name is not None:
+            leaf = name.split(".")[-1]
+            return leaf if _R005_NAME_PAT.search(leaf) else None
+    return None
+
+
+@register
+class FloatEqualityOnDistance(Rule):
+    """``==``/``!=`` on distances/scores: floating-point results differ
+    across brute-force vs. index paths and across SIMD reductions."""
+
+    rule_id = "R005"
+    title = "float equality comparison on a distance/score value"
+    paper_ref = "Sec. 4.4/5.1 (distance semantics across index and overlay paths)"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            # `x is None` style never parses as Eq; `dist == None` would,
+            # but comparing to None is identity, not float equality.
+            if any(
+                isinstance(o, ast.Constant) and o.value is None for o in operands
+            ):
+                continue
+            for operand in operands:
+                name = _distance_like(operand)
+                if name is not None:
+                    findings.append(
+                        Finding(
+                            module.path,
+                            node.lineno,
+                            self.rule_id,
+                            f"float equality on '{name}'; use a tolerance "
+                            "(math.isclose / np.isclose) — exact distance "
+                            "bits differ between index and brute-force paths",
+                        )
+                    )
+                    break
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R006
+# --------------------------------------------------------------------------
+
+
+@register
+class SilentExceptionSwallow(Rule):
+    """Bare ``except:`` or ``except Exception:`` whose body only passes."""
+
+    rule_id = "R006"
+    title = "bare except / silently swallowed exception"
+    paper_ref = "general hygiene (background vacuum threads must not die silently)"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    Finding(
+                        module.path,
+                        node.lineno,
+                        self.rule_id,
+                        "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                        "name the exception type",
+                    )
+                )
+                continue
+            type_name = _dotted_name(node.type)
+            if type_name in ("Exception", "BaseException") and all(
+                isinstance(stmt, ast.Pass)
+                or isinstance(stmt, ast.Continue)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            ):
+                findings.append(
+                    Finding(
+                        module.path,
+                        node.lineno,
+                        self.rule_id,
+                        f"'except {type_name}: pass' swallows errors silently "
+                        "(a dead vacuum thread would go unnoticed); handle or "
+                        "log the failure",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R007
+# --------------------------------------------------------------------------
+
+
+@register
+class MutableDefaultArgument(Rule):
+    """Mutable default arguments are shared across calls."""
+
+    rule_id = "R007"
+    title = "mutable default argument"
+    paper_ref = "general hygiene"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_ctor(default):
+                    findings.append(
+                        Finding(
+                            module.path,
+                            default.lineno,
+                            self.rule_id,
+                            f"mutable default argument in '{node.name}' is "
+                            "shared across calls; default to None and create "
+                            "inside the body",
+                        )
+                    )
+        return findings

@@ -186,7 +186,8 @@ class EmbeddingSegment:
         deltas are folded in with ``update_items`` / ``delete_items``, and
         the result is returned for :meth:`install_snapshot` to switch to.
         """
-        current = self._current
+        with self._lock:  # pin one coherent snapshot to clone from
+            current = self._current
         vectors = current.vectors.copy()
         present = current.present.copy()
         index = _clone_index(current.index)

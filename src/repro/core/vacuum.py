@@ -91,6 +91,9 @@ class VacuumManager:
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._merge_lock = threading.Lock()
+        # Guards the background-thread handoff only; never held while
+        # joining (stop() swaps the list out first, then joins unlocked).
+        self._lifecycle_lock = threading.Lock()
 
     # ------------------------------------------------------------ one-shot
     def delta_merge(self, store: EmbeddingStore, up_to_tid: int | None = None) -> int:
@@ -100,17 +103,22 @@ class VacuumManager:
         """
         target = self.graph_store.last_tid if up_to_tid is None else up_to_tid
         start = time.perf_counter()
-        dfile = store.delta_store.cut(target)
-        if dfile is None:
-            return 0
-        if self.spill_dir is not None:
-            name = f"{store.vertex_type}.{store.embedding.name}.{dfile.from_tid}-{dfile.to_tid}.delta"
-            dfile.save(self.spill_dir / name)
-        store.delta_files.append(dfile)
-        self.stats.delta_merges += 1
-        self.stats.records_flushed += len(dfile)
-        self.stats.delta_merge_seconds += time.perf_counter() - start
-        return len(dfile)
+        # The merge lock serializes this against index_merge, which reads
+        # AND reassigns store.delta_files — an unlocked append between its
+        # copy and reassignment would silently drop this delta file when the
+        # two background vacuum loops interleave.
+        with self._merge_lock:
+            dfile = store.delta_store.cut(target)
+            if dfile is None:
+                return 0
+            if self.spill_dir is not None:
+                name = f"{store.vertex_type}.{store.embedding.name}.{dfile.from_tid}-{dfile.to_tid}.delta"
+                dfile.save(self.spill_dir / name)
+            store.delta_files.append(dfile)
+            self.stats.delta_merges += 1
+            self.stats.records_flushed += len(dfile)
+            self.stats.delta_merge_seconds += time.perf_counter() - start
+            return len(dfile)
 
     def index_merge(self, store: EmbeddingStore, num_threads: int | None = None) -> int:
         """Fold all flushed delta files into new per-segment index snapshots.
@@ -184,9 +192,6 @@ class VacuumManager:
     # ----------------------------------------------------------- background
     def start(self, delta_interval: float = 0.05, index_interval: float = 0.2) -> None:
         """Run the two vacuum processes as background threads."""
-        if self._threads:
-            return
-        self._stop.clear()
 
         def delta_loop() -> None:
             while not self._stop.wait(delta_interval):
@@ -199,18 +204,24 @@ class VacuumManager:
                     self.index_merge(store)
                 self.graph_store.vacuum()
 
-        self._threads = [
-            threading.Thread(target=delta_loop, name="vacuum-delta-merge", daemon=True),
-            threading.Thread(target=index_loop, name="vacuum-index-merge", daemon=True),
-        ]
-        for thread in self._threads:
+        with self._lifecycle_lock:
+            if self._threads:
+                return
+            self._stop.clear()
+            self._threads = [
+                threading.Thread(target=delta_loop, name="vacuum-delta-merge", daemon=True),
+                threading.Thread(target=index_loop, name="vacuum-index-merge", daemon=True),
+            ]
+            threads = list(self._threads)
+        for thread in threads:
             thread.start()
 
     def stop(self) -> None:
         self._stop.set()
-        for thread in self._threads:
+        with self._lifecycle_lock:
+            threads, self._threads = self._threads, []
+        for thread in threads:
             thread.join(timeout=5)
-        self._threads = []
 
 
 def _default_cpu_probe() -> float:

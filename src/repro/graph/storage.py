@@ -56,6 +56,10 @@ class GraphStore:
         self._next_vid: dict[str, int] = {}
         self._pk_index: dict[str, dict[Any, int]] = {}
         self._commit_lock = threading.Lock()
+        # Reentrant guard for the type/segment registry and pk index: taken
+        # alone on read paths and nested under _commit_lock on write paths
+        # (consistent order: _commit_lock -> _registry_lock, never reversed).
+        self._registry_lock = threading.RLock()
         self._last_tid = 0
         self._active_snapshots: dict[int, int] = {}  # tid -> refcount
         self._snapshot_lock = threading.Lock()
@@ -64,23 +68,34 @@ class GraphStore:
     # ---------------------------------------------------------------- hooks
     def register_embedding_hook(self, hook: EmbeddingHook) -> None:
         """Install a callback invoked inside commit with embedding ops."""
-        self._embedding_hooks.append(hook)
+        with self._registry_lock:
+            self._embedding_hooks.append(hook)
 
     # ------------------------------------------------------------- segments
     def _ensure_type(self, vertex_type: str) -> None:
-        if vertex_type not in self._segments:
-            self.schema.vertex_type(vertex_type)  # raises if unknown
-            self._segments[vertex_type] = []
-            self._next_vid[vertex_type] = 0
-            self._pk_index[vertex_type] = {}
+        if vertex_type in self._segments:
+            return
+        self.schema.vertex_type(vertex_type)  # raises if unknown
+        with self._registry_lock:
+            if vertex_type not in self._segments:
+                self._next_vid[vertex_type] = 0
+                self._pk_index[vertex_type] = {}
+                # Assigned last: readers key presence checks off _segments.
+                self._segments[vertex_type] = []
 
     def _segment(self, vertex_type: str, seg_no: int) -> Segment:
         self._ensure_type(vertex_type)
         segments = self._segments[vertex_type]
-        while len(segments) <= seg_no:
-            segments.append(
-                Segment(self.schema.vertex_type(vertex_type), len(segments), self.segment_size)
-            )
+        if len(segments) <= seg_no:
+            with self._registry_lock:
+                while len(segments) <= seg_no:
+                    segments.append(
+                        Segment(
+                            self.schema.vertex_type(vertex_type),
+                            len(segments),
+                            self.segment_size,
+                        )
+                    )
         return segments[seg_no]
 
     def _num_segments(self, vertex_type: str) -> int:
@@ -103,13 +118,14 @@ class GraphStore:
             return snap.get_attr(vertex_type, vid, vtype.primary_key)
 
     def _allocate_vid(self, vertex_type: str, pk: Any) -> int:
-        index = self._pk_index[vertex_type]
-        vid = index.get(pk)
-        if vid is None:
-            vid = self._next_vid[vertex_type]
-            self._next_vid[vertex_type] = vid + 1
-            index[pk] = vid
-        return vid
+        with self._registry_lock:
+            index = self._pk_index[vertex_type]
+            vid = index.get(pk)
+            if vid is None:
+                vid = self._next_vid[vertex_type]
+                self._next_vid[vertex_type] = vid + 1
+                index[pk] = vid
+            return vid
 
     # ------------------------------------------------------------ lifecycle
     def begin(self) -> Transaction:
@@ -181,7 +197,8 @@ class GraphStore:
                 return  # deleting a missing vertex is a no-op
             seg_no, offset = divmod(vid, self.segment_size)
             self._segment(vertex_type, seg_no).append_delta(DeltaOp(tid, "delete", offset))
-            self._pk_index[vertex_type].pop(pk, None)
+            with self._registry_lock:
+                self._pk_index[vertex_type].pop(pk, None)
             # Cascade: drop this vertex's embeddings too.
             vtype = self.schema.vertex_type(vertex_type)
             for attr in vtype.embeddings:

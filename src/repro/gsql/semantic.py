@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import GSQLSemanticError
+from ..errors import GSQLSemanticError, UnknownTypeError
 from ..graph.schema import GraphSchema
 from . import ast_nodes as ast
 
@@ -128,8 +128,8 @@ def _resolve_alias_types(
             continue
         try:
             etype = schema.edge_type(edge.edge_type)
-        except Exception:
-            raise GSQLSemanticError(f"unknown edge type '{edge.edge_type}'")
+        except UnknownTypeError as exc:
+            raise GSQLSemanticError(f"unknown edge type '{edge.edge_type}'") from exc
         if edge.direction == "out":
             src_t, dst_t = etype.from_type, etype.to_type
         elif edge.direction == "in":

@@ -97,24 +97,25 @@ class HNSWIndex(VectorIndex):
 
     # ------------------------------------------------------------ plumbing
     def _grow(self, needed: int) -> None:
-        if needed <= self._capacity:
-            return
-        new_capacity = max(needed, self._capacity * 2)
+        with self._write_lock:  # reentrant: usually already held by _insert
+            if needed <= self._capacity:
+                return
+            new_capacity = max(needed, self._capacity * 2)
 
-        def grown(arr: np.ndarray, fill=0) -> np.ndarray:
-            shape = (new_capacity,) + arr.shape[1:]
-            out = np.full(shape, fill, dtype=arr.dtype) if fill else np.zeros(shape, arr.dtype)
-            out[: self._count] = arr[: self._count]
-            return out
+            def grown(arr: np.ndarray, fill=0) -> np.ndarray:
+                shape = (new_capacity,) + arr.shape[1:]
+                out = np.full(shape, fill, dtype=arr.dtype) if fill else np.zeros(shape, arr.dtype)
+                out[: self._count] = arr[: self._count]
+                return out
 
-        self._vectors = grown(self._vectors)
-        self._norms = grown(self._norms)
-        self._ids = grown(self._ids)
-        self._deleted = grown(self._deleted)
-        self._visited = grown(self._visited)
-        self._links0 = grown(self._links0, fill=-1)
-        self._links0_cnt = grown(self._links0_cnt)
-        self._capacity = new_capacity
+            self._vectors = grown(self._vectors)
+            self._norms = grown(self._norms)
+            self._ids = grown(self._ids)
+            self._deleted = grown(self._deleted)
+            self._visited = grown(self._visited)
+            self._links0 = grown(self._links0, fill=-1)
+            self._links0_cnt = grown(self._links0_cnt)
+            self._capacity = new_capacity
 
     def _neighbors(self, row: int, level: int) -> np.ndarray:
         if level == 0:
@@ -122,7 +123,7 @@ class HNSWIndex(VectorIndex):
         layer = self._links_upper[level - 1]
         return np.asarray(layer.get(row, ()), dtype=np.int32)
 
-    def _set_neighbors(self, row: int, level: int, neighbors: Sequence[int]) -> None:
+    def _set_neighbors(self, row: int, level: int, neighbors: Sequence[int]) -> None:  # repro: noqa[R001] -- link-repair internal; every caller (_insert/_append_link) holds _write_lock
         if level == 0:
             n = len(neighbors)
             self._links0[row, :n] = neighbors
@@ -336,7 +337,7 @@ class HNSWIndex(VectorIndex):
                     chosen.add(i)
         return [int(rows[i]) for i in selected]
 
-    def _append_link(self, node: int, level: int, new_row: int) -> None:
+    def _append_link(self, node: int, level: int, new_row: int) -> None:  # repro: noqa[R001] -- backlink hot path; only reachable from _insert, which holds _write_lock
         """Add a backlink, pruning with the diversity heuristic on overflow."""
         bound = self.M0 if level == 0 else self.M
         if level == 0:
@@ -363,6 +364,13 @@ class HNSWIndex(VectorIndex):
             self._set_neighbors(node, level, [links[i] for i in keep])
 
     def _insert(self, external_id: int, vector: np.ndarray) -> None:
+        self._write_lock.acquire()  # reentrant under update_items' batch lock
+        try:
+            self._insert_locked(external_id, vector)
+        finally:
+            self._write_lock.release()
+
+    def _insert_locked(self, external_id: int, vector: np.ndarray) -> None:  # repro: noqa[R001] -- body of _insert, entered only with _write_lock held
         existing = self._id_to_row.get(external_id)
         if existing is not None:
             # Replacing a vector in place would leave the graph links stale

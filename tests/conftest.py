@@ -1,11 +1,49 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Set ``REPRO_SANITIZE=1`` to run every test with instrumented locks: the
+runtime sanitizer (repro.analysis.sanitizer) records the lock-order graph,
+reports it in the terminal summary, and fails the session on any lock-order
+inversion or held-across-commit violation.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro import Attribute, AttrType, Metric, TigerVectorDB
+
+_SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
+
+if _SANITIZE:
+    # Patch before any fixture/test constructs a store, so every repro lock
+    # in the session is instrumented.
+    from repro.analysis import sanitizer
+
+    sanitizer.patch_locks()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_sanitizer_gate():
+    """Fail the session (at teardown) if the sanitizer recorded violations."""
+    if not _SANITIZE:
+        yield
+        return
+    from repro.analysis import sanitizer
+
+    sanitizer.reset()
+    yield
+    found = sanitizer.violations()
+    assert not found, sanitizer.format_report()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _SANITIZE:
+        from repro.analysis import sanitizer
+
+        terminalreporter.write_line(sanitizer.summary_line())
 
 
 @pytest.fixture

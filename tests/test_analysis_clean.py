@@ -1,0 +1,102 @@
+"""Self-test gate: the repro source tree must lint clean.
+
+Any unsuppressed finding fails this test, which keeps the concurrency
+invariants (Sec. 4.3) enforced on every change.  A seeded-violation check
+proves the gate has teeth — a file with known violations must be caught.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_tree_lints_clean():
+    result = lint_paths([SRC])
+    assert result.errors == []
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.findings == [], f"unsuppressed findings in src/repro:\n{rendered}"
+    assert result.files > 50  # sanity: the walk actually visited the tree
+
+
+def test_cli_exits_zero_on_clean_tree():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro-lint: 0 finding(s)" in proc.stdout
+
+
+def test_cli_catches_seeded_violations(tmp_path):
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text(
+        textwrap.dedent(
+            """
+            import threading
+            import time
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    self._items[key] = value            # R001
+
+                def commit(self, dist, best_dist, tags=[]):   # R007
+                    stamp = time.time()                 # R004
+                    try:
+                        return dist == best_dist        # R005
+                    except Exception:
+                        pass                            # R006
+            """
+        )
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis",
+            "lint",
+            str(seeded),
+            "--format",
+            "json",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    caught = {f["rule"] for f in payload["findings"]}
+    assert caught == {"R001", "R004", "R005", "R006", "R007"}
+
+
+def test_cli_rules_subcommand_lists_catalog():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "rules"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+        assert rule_id in proc.stdout
