@@ -10,10 +10,10 @@ machines with a network cost model.  Node- and data-scalability *shapes*
 same mechanism at play on real hardware.
 """
 
-from .coordinator import ClusterSimulator, QueryTrace
+from .coordinator import ClusterSimulator, QueryTrace, RequestOutcome
 from .costs import HardwareCost, NEPTUNE_1024_MNCU, TIGERVECTOR_N2D
 from .loadgen import ClosedLoopLoadGenerator, LoadResult
-from .machine import Machine, make_cluster
+from .machine import Machine, make_cluster, segment_holders
 from .network import NetworkModel
 
 __all__ = [
@@ -25,6 +25,8 @@ __all__ = [
     "NEPTUNE_1024_MNCU",
     "NetworkModel",
     "QueryTrace",
+    "RequestOutcome",
     "TIGERVECTOR_N2D",
     "make_cluster",
+    "segment_holders",
 ]

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ClusterError
+from ..errors import ClusterError, PartialResultError, QueryTimeoutError
 from .coordinator import ClusterSimulator
 
 __all__ = ["ClosedLoopLoadGenerator", "LoadResult"]
@@ -25,7 +25,14 @@ __all__ = ["ClosedLoopLoadGenerator", "LoadResult"]
 
 @dataclass
 class LoadResult:
-    """Throughput/latency outcome of one simulated load run."""
+    """Throughput/latency outcome of one simulated load run.
+
+    Under chaos (a fault injector attached to the simulator) the run also
+    reports availability: ``failed`` counts queries that raised
+    (timeout/unrecoverable loss), ``partial`` counts degraded answers with
+    ``coverage < 1``, and ``mean_coverage`` averages coverage over all
+    non-failed queries.
+    """
 
     qps: float
     completed: int
@@ -34,6 +41,9 @@ class LoadResult:
     p50_latency_seconds: float
     p99_latency_seconds: float
     connections: int
+    failed: int = 0
+    partial: int = 0
+    mean_coverage: float = 1.0
 
 
 class ClosedLoopLoadGenerator:
@@ -63,12 +73,15 @@ class ClosedLoopLoadGenerator:
             raise ClusterError("need at least one measured sample")
         self.simulator.reset()
         samples = itertools.cycle(sample_segment_seconds)
+        chaos = self.simulator.injector is not None
+        self._failed = 0
+        self._coverages: list[float] = []
         # Event heap holds (completion_time, seq, issue_time).
         events: list[tuple[float, int, float]] = []
         seq = itertools.count()
         for _ in range(self.connections):
             issue = 0.0
-            done = self.simulator.simulate_request(issue, next(samples))
+            done = self._issue(issue, next(samples), chaos)
             heapq.heappush(events, (done, next(seq), issue))
         latencies: list[float] = []
         completed = 0
@@ -79,16 +92,38 @@ class ClosedLoopLoadGenerator:
             latencies.append(done - issued)
             completed += 1
             if done < duration_seconds:
-                next_done = self.simulator.simulate_request(done, next(samples))
+                next_done = self._issue(done, next(samples), chaos)
                 heapq.heappush(events, (next_done, next(seq), done))
         horizon = max(now, duration_seconds)
         lat = np.asarray(latencies)
+        coverages = np.asarray(self._coverages) if self._coverages else np.ones(1)
         return LoadResult(
             qps=completed / horizon,
             completed=completed,
             duration_seconds=horizon,
-            mean_latency_seconds=float(lat.mean()),
-            p50_latency_seconds=float(np.percentile(lat, 50)),
-            p99_latency_seconds=float(np.percentile(lat, 99)),
+            mean_latency_seconds=float(lat.mean()) if lat.size else 0.0,
+            p50_latency_seconds=float(np.percentile(lat, 50)) if lat.size else 0.0,
+            p99_latency_seconds=float(np.percentile(lat, 99)) if lat.size else 0.0,
             connections=self.connections,
+            failed=self._failed,
+            partial=int(np.count_nonzero(coverages < 1.0)),
+            mean_coverage=float(coverages.mean()),
         )
+
+    def _issue(self, issue: float, sample: dict[int, float], chaos: bool) -> float:
+        """One request; under chaos, failures are counted, not raised.
+
+        A failed query still occupies its connection until the deadline (if
+        configured) or a nominal timeout, mirroring a client that waits out
+        the error before reissuing.
+        """
+        if not chaos:
+            return self.simulator.simulate_request(issue, sample)
+        try:
+            outcome = self.simulator.simulate_request_outcome(issue, sample)
+        except (QueryTimeoutError, PartialResultError, ClusterError):
+            self._failed += 1
+            deadline = self.simulator.policy.deadline
+            return issue + (deadline if deadline is not None else 0.001)
+        self._coverages.append(outcome.coverage)
+        return outcome.completion_seconds

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ClusterError
 
-__all__ = ["Machine", "make_cluster"]
+__all__ = ["Machine", "make_cluster", "segment_holders"]
 
 
 @dataclass
@@ -54,3 +54,16 @@ def make_cluster(
         for replica in range(replication_factor):
             machines[(primary + replica) % num_machines].segments.append(seg_no)
     return machines
+
+
+def segment_holders(machines: list[Machine]) -> dict[int, list[Machine]]:
+    """Segment -> replica-holder machines, primary first (placement order).
+
+    The coordinator and the real distributed searcher both route through
+    this map; failover walks the list past dead/quarantined holders.
+    """
+    holders: dict[int, list[Machine]] = {}
+    for machine in machines:
+        for seg_no in machine.segments:
+            holders.setdefault(seg_no, []).append(machine)
+    return holders

@@ -3,24 +3,37 @@
 Bridges the embedding store to the simulated cluster:
 
 - :meth:`DistributedSearcher.search` executes a real distributed query —
-  per-machine local top-k over that machine's segments, then a coordinator
-  merge — and returns both the merged result and the measured per-segment
-  service times.  Correctness is machine-count invariant (the merge of local
-  top-k lists equals the single-machine answer), which tests verify.
+  per-segment local top-k routed to that segment's replica holder, then a
+  coordinator merge — and returns both the merged result and the measured
+  per-segment service times.  Correctness is machine-count invariant (the
+  merge of local top-k lists equals the single-machine answer), which tests
+  verify.
 - :meth:`DistributedSearcher.measure_samples` collects service-time samples
   for the load generator, which is how Figures 9–10 are produced.
+
+Resilience (``repro.faults``): with a replication factor above one the
+searcher holds a replica map, and each segment job retries with exponential
+backoff across replica holders when a search attempt raises
+:class:`~repro.errors.FaultInjectionError` (injected) or the machine is
+down.  A per-query deadline converts overruns into
+:class:`~repro.errors.QueryTimeoutError`; degraded mode returns partial
+top-k with an explicit ``coverage`` instead of failing the query; a circuit
+breaker (clocked in query ordinals) quarantines repeat-offender machines.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cluster.coordinator import ClusterSimulator
-from ..cluster.machine import Machine, make_cluster
+from ..cluster.machine import Machine, make_cluster, segment_holders
 from ..cluster.network import NetworkModel
+from ..errors import FaultInjectionError, PartialResultError, QueryTimeoutError
+from ..faults.injector import FaultInjector
+from ..faults.resilience import CircuitBreaker, ResiliencePolicy
 from ..index.interface import SearchResult
 from .service import EmbeddingStore
 
@@ -32,6 +45,11 @@ class DistributedSearchOutput:
     result: SearchResult
     segment_seconds: dict[int, float]
     per_machine_seconds: dict[int, float]
+    #: Fraction of segments whose local top-k made it into the merge; 1.0 is
+    #: a complete answer, below 1.0 is an explicit degraded result.
+    coverage: float = 1.0
+    failed_segments: list[int] = field(default_factory=list)
+    retries: int = 0
 
 
 class DistributedSearcher:
@@ -43,12 +61,27 @@ class DistributedSearcher:
         num_machines: int,
         cores_per_machine: int = 32,
         network: NetworkModel | None = None,
+        replication_factor: int = 1,
+        injector: FaultInjector | None = None,
+        policy: ResiliencePolicy | None = None,
     ):
         self.store = store
         self.machines: list[Machine] = make_cluster(
-            num_machines, store.num_segments, cores=cores_per_machine
+            num_machines,
+            store.num_segments,
+            cores=cores_per_machine,
+            replication_factor=replication_factor,
         )
         self.network = network or NetworkModel()
+        self.injector = injector
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        # The breaker's clock is the query ordinal, so breaker_cooldown is
+        # "how many queries before a half-open probe".
+        self.breaker = CircuitBreaker(
+            self.policy.breaker_threshold, self.policy.breaker_cooldown
+        )
+        self._holders = segment_holders(self.machines)
+        self._queries_issued = 0
 
     def simulator(self, dim: int | None = None, k: int = 10) -> ClusterSimulator:
         return ClusterSimulator(
@@ -56,6 +89,8 @@ class DistributedSearcher:
             self.network,
             dim=dim or self.store.embedding.dimension,
             k=k,
+            injector=self.injector,
+            policy=self.policy,
         )
 
     # ------------------------------------------------------------ execution
@@ -66,23 +101,56 @@ class DistributedSearcher:
         snapshot_tid: int,
         ef: int | None = None,
     ) -> DistributedSearchOutput:
-        """Real distributed top-k: local searches + coordinator merge."""
+        """Real distributed top-k: local searches + coordinator merge.
+
+        Raises :class:`QueryTimeoutError` when the policy deadline elapses
+        before any segment answers (or at all, with partial results
+        disallowed) and :class:`PartialResultError` when segments are
+        unrecoverable and degraded answers are off or below
+        ``min_coverage``.
+        """
+        policy = self.policy
+        injector = self.injector
+        query_index = self._queries_issued
+        self._queries_issued += 1
+        if injector is not None:
+            injector.advance_query(self.machines, query_index)
+        started = time.perf_counter()
+        backoff_budget = 0.0  # simulated backoff counts against the deadline
         segment_seconds: dict[int, float] = {}
         per_machine: dict[int, float] = {}
         merged: list[tuple[float, int]] = []
-        for machine in self.machines:
-            machine_total = 0.0
-            for seg_no in machine.segments:
-                start = time.perf_counter()
-                out = self.store.search_segment(seg_no, query, k, snapshot_tid, ef=ef)
-                elapsed = time.perf_counter() - start
-                segment_seconds[seg_no] = elapsed
-                machine_total += elapsed
-                base = seg_no * self.store.segment_size
-                merged.extend(
-                    zip(out.distances, (base + o for o in out.offsets))
-                )
-            per_machine[machine.machine_id] = machine_total
+        failed: list[int] = []
+        retries = 0
+        deadline_hit = False
+        for seg_no in range(self.store.num_segments):
+            if policy.deadline is not None and not deadline_hit:
+                elapsed = (time.perf_counter() - started) + backoff_budget
+                if elapsed > policy.deadline:
+                    deadline_hit = True
+                    if injector is not None:
+                        injector.record(
+                            "deadline", at=float(query_index), seg_no=seg_no
+                        )
+            if deadline_hit:
+                failed.append(seg_no)
+                continue
+            out, served_by, cost, penalty, attempts = self._search_segment_resilient(
+                seg_no, query, k, snapshot_tid, ef, query_index
+            )
+            retries += attempts
+            backoff_budget += penalty
+            if out is None:
+                failed.append(seg_no)
+                if injector is not None:
+                    injector.record(
+                        "segment-lost", at=float(query_index), seg_no=seg_no
+                    )
+                continue
+            segment_seconds[seg_no] = cost
+            per_machine[served_by] = per_machine.get(served_by, 0.0) + cost
+            base = seg_no * self.store.segment_size
+            merged.extend(zip(out.distances, (base + o for o in out.offsets)))
         merged.sort()
         merged = merged[:k]
         if merged:
@@ -90,7 +158,108 @@ class DistributedSearcher:
             result = SearchResult(np.asarray(vids), np.asarray(dists, dtype=np.float32))
         else:
             result = SearchResult.empty()
-        return DistributedSearchOutput(result, segment_seconds, per_machine)
+        total = self.store.num_segments
+        coverage = 1.0 if total == 0 else (total - len(failed)) / total
+        if failed:
+            if deadline_hit and not segment_seconds:
+                raise QueryTimeoutError(
+                    "deadline elapsed before any segment answered",
+                    deadline=policy.deadline,
+                )
+            if deadline_hit and not policy.allow_partial:
+                raise QueryTimeoutError(
+                    f"query missed its {policy.deadline:g}s deadline with "
+                    f"{len(failed)} segment(s) unanswered",
+                    deadline=policy.deadline,
+                )
+            if not policy.allow_partial:
+                raise PartialResultError(
+                    f"{len(failed)} of {total} segment(s) unrecoverable "
+                    f"(coverage {coverage:.2f}); enable allow_partial for "
+                    f"degraded answers",
+                    coverage=coverage,
+                    result=result,
+                )
+            if coverage < policy.min_coverage:
+                raise PartialResultError(
+                    f"coverage {coverage:.2f} below required minimum "
+                    f"{policy.min_coverage:.2f}",
+                    coverage=coverage,
+                    result=result,
+                )
+        return DistributedSearchOutput(
+            result,
+            segment_seconds,
+            per_machine,
+            coverage=coverage,
+            failed_segments=failed,
+            retries=retries,
+        )
+
+    def _search_segment_resilient(
+        self,
+        seg_no: int,
+        query: np.ndarray,
+        k: int,
+        snapshot_tid: int,
+        ef: int | None,
+        query_index: int,
+    ):
+        """One segment job with retry/failover across replica holders.
+
+        Returns ``(output|None, machine_id, cost_seconds, backoff_seconds,
+        failures)``; the cost folds the simulated exponential backoff into
+        the measured service time so the load model (and the deadline) sees
+        the retry tax.
+        """
+        policy = self.policy
+        injector = self.injector
+        holders = [m for m in self._holders.get(seg_no, []) if m.alive]
+        candidates = [
+            m for m in holders if self.breaker.allow(m.machine_id, query_index)
+        ]
+        # A breaker must never turn a recoverable segment into a lost one:
+        # when it quarantines every live holder, probe anyway.
+        if not candidates:
+            candidates = holders
+        penalty = 0.0
+        failures = 0
+        for attempt in range(policy.max_attempts):
+            if not candidates:
+                break
+            machine = candidates[attempt % len(candidates)]
+            try:
+                if injector is not None:
+                    injector.raise_segment_fault(
+                        seg_no, machine.machine_id, attempt, now=float(query_index)
+                    )
+                start = time.perf_counter()
+                out = self.store.search_segment(
+                    seg_no, query, k, snapshot_tid, ef=ef
+                )
+                elapsed = time.perf_counter() - start
+            except FaultInjectionError:
+                failures += 1
+                penalty += policy.backoff(attempt)
+                if self.breaker.record_failure(machine.machine_id, query_index):
+                    if injector is not None:
+                        injector.record(
+                            "breaker-open",
+                            at=float(query_index),
+                            machine_id=machine.machine_id,
+                        )
+                if injector is not None:
+                    injector.record(
+                        "retry",
+                        at=float(query_index),
+                        machine_id=machine.machine_id,
+                        seg_no=seg_no,
+                        attempt=attempt,
+                    )
+                continue
+            self.breaker.record_success(machine.machine_id)
+            return out, machine.machine_id, elapsed + penalty, penalty, failures
+        return None, -1, penalty, penalty, failures
 
     def measure_samples(
         self,

@@ -67,10 +67,15 @@ class EmbeddingStore:
         self.retired_delta_files: list[tuple[int, DeltaFile]] = []
         self._segments: list[EmbeddingSegment] = []
         self._lock = threading.Lock()
+        #: Chaos-testing gate (repro.faults): called with the segment number
+        #: at the top of every search so injected per-segment exceptions
+        #: exercise callers' retry/failover paths.  None in production.
+        self.fault_hook = None
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_lock"]  # locks are not picklable; recreate on load
+        state["fault_hook"] = None  # injector closures don't survive pickling
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -187,6 +192,9 @@ class EmbeddingStore:
         ``bitmap`` is the pre-filter validity mask over local offsets (None
         means "wrap the vertex status structure", i.e. everything present).
         """
+        fault_hook = self.fault_hook
+        if fault_hook is not None:
+            fault_hook(seg_no)  # may raise FaultInjectionError (chaos tests)
         segment = self.segment(seg_no)
         snap = segment.snapshot_for(snapshot_tid)
         overlay = self.overlay_records(seg_no, snap.tid, snapshot_tid)

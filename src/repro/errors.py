@@ -76,3 +76,66 @@ class LoadingError(ReproError):
 
 class ClusterError(ReproError):
     """Simulated-cluster configuration or routing failure."""
+
+
+class QueryTimeoutError(ReproError):
+    """A distributed query overran its per-query deadline.
+
+    Raised by the resilient query path (``repro.faults``) when the deadline
+    in :class:`~repro.faults.ResiliencePolicy` elapses before enough segment
+    responses arrive — either because partial results are disallowed, or
+    because *no* segment answered in time (coverage would be zero).  Under
+    the fault model this converts unbounded straggler/crash-induced waiting
+    into a bounded, typed failure the caller can retry.
+    """
+
+    def __init__(self, message: str, deadline: float | None = None, elapsed: float | None = None):
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class PartialResultError(ReproError):
+    """A query could only be answered for a strict subset of segments.
+
+    Raised when some segments lost every replica (or exhausted all retry
+    attempts) and the active :class:`~repro.faults.ResiliencePolicy` does not
+    permit degraded answers (``allow_partial=False``), or the achieved
+    ``coverage`` — the fraction of segments that answered — fell below
+    ``min_coverage``.  Carries the coverage and, when available, the partial
+    result so callers can still use the degraded answer.
+    """
+
+    def __init__(self, message: str, coverage: float = 0.0, result=None):
+        super().__init__(message)
+        self.coverage = coverage
+        self.result = result
+
+
+class FaultInjectionError(ReproError):
+    """An error deliberately injected by the fault harness (``repro.faults``).
+
+    Models transient worker-side failures (a segment search raising on one
+    replica, a dropped dispatch).  The resilient query path treats it like
+    any real per-segment failure: retry with backoff, fail over to another
+    replica, and count it toward the circuit breaker.
+    """
+
+
+class SimulatedCrash(FaultInjectionError):
+    """An injected process crash (mid-commit, torn WAL write, ...).
+
+    Unlike :class:`FaultInjectionError` this is *not* retried: it marks the
+    point where the simulated process dies.  Tests abandon the in-memory
+    instance and exercise WAL recovery into a fresh store.
+    """
+
+
+class WALCorruptionError(ReproError):
+    """The write-ahead log contains a corrupt record that is not a torn tail.
+
+    A torn *final* record (crash mid-append) is expected under the fault
+    model and is tolerated/truncated by replay; a malformed record in the
+    middle of the log means the durable history itself is damaged and replay
+    refuses to guess.
+    """

@@ -64,12 +64,21 @@ class GraphStore:
         self._active_snapshots: dict[int, int] = {}  # tid -> refcount
         self._snapshot_lock = threading.Lock()
         self._embedding_hooks: list[EmbeddingHook] = []
+        # Crash-injection failpoint (repro.faults): called inside the commit
+        # critical section at stages "pre-wal", "post-wal", and "apply"
+        # (once per op).  Raising SimulatedCrash there models a process
+        # dying mid-commit; recovery must then come from the WAL file.
+        self._commit_failpoint: Callable[[str, int], None] | None = None
 
     # ---------------------------------------------------------------- hooks
     def register_embedding_hook(self, hook: EmbeddingHook) -> None:
         """Install a callback invoked inside commit with embedding ops."""
         with self._registry_lock:
             self._embedding_hooks.append(hook)
+
+    def set_commit_failpoint(self, failpoint: Callable[[str, int], None] | None) -> None:
+        """Install (or clear) the mid-commit crash-injection failpoint."""
+        self._commit_failpoint = failpoint
 
     # ------------------------------------------------------------- segments
     def _ensure_type(self, vertex_type: str) -> None:
@@ -160,9 +169,16 @@ class GraphStore:
     def _commit(self, ops: list[tuple]) -> int:
         with self._commit_lock:
             tid = self._last_tid + 1
+            failpoint = self._commit_failpoint
+            if failpoint is not None:
+                failpoint("pre-wal", tid)
             self.wal.append(tid, ops)
+            if failpoint is not None:
+                failpoint("post-wal", tid)
             embedding_ops: list[tuple] = []
             for op in ops:
+                if failpoint is not None:
+                    failpoint("apply", tid)
                 self._apply_op(tid, op, embedding_ops)
             if embedding_ops:
                 for hook in self._embedding_hooks:

@@ -7,19 +7,34 @@ applied to segments, so replaying the log into a fresh store reconstructs
 all committed state — including embedding upserts, which is how TigerVector
 gets atomic cross graph/vector durability.
 
+Crash tolerance: a process dying mid-append leaves a *torn* trailing record
+(a partial JSON line).  Under the WAL-before-apply protocol that
+transaction never committed, so :meth:`WriteAheadLog.replay` tolerates the
+torn tail — it keeps every complete record, logs a warning, and truncates
+the file back to the last complete record so the next append starts clean.
+A malformed record that is *not* the tail means the durable history itself
+is damaged and replay raises :class:`~repro.errors.WALCorruptionError`
+rather than guess.  The fault harness (``repro.faults``) injects torn tails
+via :meth:`arm_torn_write`.
+
 The log can also run purely in memory (``path=None``) for tests.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Iterator
 
 import numpy as np
 
+from ..errors import SimulatedCrash, WALCorruptionError
+
 __all__ = ["WriteAheadLog"]
+
+logger = logging.getLogger(__name__)
 
 
 def _jsonify(value: Any) -> Any:
@@ -56,12 +71,37 @@ class WriteAheadLog:
         self.fsync = fsync
         self._memory: list[dict] = []
         self._file = None
+        self._torn_fraction: float | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = open(self.path, "a", encoding="utf-8")
 
+    # ------------------------------------------------------ fault injection
+    def arm_torn_write(self, fraction: float = 0.5) -> None:
+        """Make the *next* append write a torn record prefix and die.
+
+        Models a crash mid-``append``: only ``fraction`` of the record's
+        bytes (never the trailing newline) reach the file before
+        :class:`~repro.errors.SimulatedCrash` is raised.  In-memory logs
+        cannot tear — the record is simply lost before the crash.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("torn fraction must be in (0, 1)")
+        self._torn_fraction = fraction
+
     def append(self, tid: int, ops: list[tuple]) -> None:
         record = {"tid": tid, "ops": [_jsonify(list(op)) for op in ops]}
+        if self._torn_fraction is not None:
+            fraction = self._torn_fraction
+            self._torn_fraction = None
+            if self._file is not None:
+                payload = json.dumps(record)
+                cut = max(1, int(len(payload) * fraction))
+                self._file.write(payload[:cut])
+                self._file.flush()
+                if self.fsync:
+                    os.fsync(self._file.fileno())
+            raise SimulatedCrash(f"injected crash mid-append (tid {tid})")
         if self._file is not None:
             self._file.write(json.dumps(record) + "\n")
             self._file.flush()
@@ -71,20 +111,57 @@ class WriteAheadLog:
             self._memory.append(record)
 
     def replay(self) -> Iterator[tuple[int, list[list]]]:
-        """Yield ``(tid, ops)`` for every committed transaction, in order."""
+        """Yield ``(tid, ops)`` for every committed transaction, in order.
+
+        A torn trailing record (crash mid-append) is dropped and truncated
+        away; a corrupt record followed by more data raises
+        :class:`WALCorruptionError`.
+        """
         if self.path is not None:
             if not self.path.exists():
                 return
-            with open(self.path, encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    record = json.loads(line)
-                    yield record["tid"], [_unjsonify(op) for op in record["ops"]]
+            with open(self.path, "rb") as fh:
+                lines = fh.readlines()
+            clean_bytes = 0  # length of the verified prefix
+            for lineno, raw in enumerate(lines):
+                text = raw.decode("utf-8", errors="replace").strip()
+                if not text:
+                    clean_bytes += len(raw)
+                    continue
+                record = self._decode(text)
+                if record is None:
+                    tail = b"".join(lines[lineno + 1 :])
+                    if tail.strip():
+                        raise WALCorruptionError(
+                            f"corrupt WAL record at {self.path}:{lineno + 1} is "
+                            f"followed by {len(tail)} more bytes; refusing to "
+                            f"truncate committed history"
+                        )
+                    logger.warning(
+                        "WAL %s: torn trailing record at line %d (%d bytes); "
+                        "dropping it and truncating to last complete record",
+                        self.path,
+                        lineno + 1,
+                        len(raw),
+                    )
+                    os.truncate(self.path, clean_bytes)
+                    return
+                clean_bytes += len(raw)
+                yield record["tid"], [_unjsonify(op) for op in record["ops"]]
         else:
             for record in self._memory:
                 yield record["tid"], [_unjsonify(op) for op in record["ops"]]
+
+    @staticmethod
+    def _decode(text: str) -> dict | None:
+        """Parse one record line; None when it is torn/malformed."""
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or "tid" not in record or "ops" not in record:
+            return None
+        return record
 
     def close(self) -> None:
         if self._file is not None:

@@ -82,3 +82,54 @@ class TestFailover:
         # ~10ms/machine -> total latency close to 10ms + overheads.
         done = sim.simulate_request(0.0, seg_times(3, each=0.010))
         assert done < 0.025
+
+
+class TestRecoveryCycles:
+    def test_recover_then_refail_cycles(self):
+        """Machines can fail, recover, and re-fail repeatedly; with RF=2 a
+        single down machine never makes a request unserviceable."""
+        sim = ClusterSimulator(make_cluster(4, 8, cores=4, replication_factor=2))
+        for cycle in range(3):
+            victim = 1 + cycle  # a different machine each cycle
+            sim.fail_machine(victim)
+            sim.reset()
+            assert sim.simulate_request(0.0, seg_times(8)) > 0
+            sim.recover_machine(victim)
+            sim.reset()
+            assert sim.simulate_request(0.0, seg_times(8)) > 0
+
+    def test_refailure_of_recovered_machine(self):
+        sim = ClusterSimulator(make_cluster(2, 4, cores=4, replication_factor=2))
+        sim.fail_machine(1)
+        sim.recover_machine(1)
+        sim.fail_machine(1)  # re-failure after recovery routes around again
+        sim.reset()
+        outcome = sim.simulate_request_outcome(0.0, seg_times(4))
+        assert outcome.coverage == 1.0
+
+    def test_recover_readmits_past_the_breaker(self):
+        sim = ClusterSimulator(make_cluster(2, 4, cores=4, replication_factor=2))
+        sim.breaker.record_failure(1, now=0.0)
+        sim.breaker.record_failure(1, now=0.0)
+        sim.breaker.record_failure(1, now=0.0)
+        assert sim.breaker.open_machines() == [1]
+        sim.recover_machine(1)
+        assert sim.breaker.open_machines() == []
+
+    def test_all_replicas_down_raises(self):
+        """When every holder of a segment is dead the request must fail
+        loudly, both in assignment and in the full pipeline."""
+        machines = make_cluster(4, 8, cores=4, replication_factor=2)
+        sim = ClusterSimulator(machines)
+        for machine_id in [m.machine_id for m in machines if 0 in m.segments]:
+            sim.fail_machine(machine_id)
+        with pytest.raises(ClusterError, match="no alive replica"):
+            sim._assign_segments(seg_times(8))
+        with pytest.raises(ClusterError, match="no alive replica"):
+            sim.simulate_request(0.0, seg_times(8))
+
+    def test_empty_request_raises(self):
+        """An empty assignment is a caller bug: refuse to invent a latency."""
+        sim = ClusterSimulator(make_cluster(2, 4))
+        with pytest.raises(ClusterError, match="empty assignment"):
+            sim.simulate_request(0.0, {})
