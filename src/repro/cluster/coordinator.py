@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from ..errors import ClusterError, PartialResultError, QueryTimeoutError
 from ..faults.injector import FaultInjector
 from ..faults.resilience import CircuitBreaker, ResiliencePolicy
+from ..telemetry import get_telemetry
 from .machine import Machine, segment_holders
 from .network import NetworkModel
 
@@ -162,6 +163,7 @@ class ClusterSimulator:
         self, machine_id: int, arrive: float, durations: list[float]
     ) -> float:
         """List-schedule jobs onto a machine's cores; returns finish time."""
+        self._machine_by_id[machine_id].record_jobs(len(durations))
         heap = self._core_free[machine_id]
         finish = arrive
         for duration in durations:
@@ -200,6 +202,32 @@ class ClusterSimulator:
                 "request has no segments to dispatch (empty assignment); "
                 "refusing to fabricate a latency"
             )
+        tel = get_telemetry()
+        with tel.span(
+            "coordinator.request",
+            start_time=start_time,
+            segments=len(segment_seconds),
+        ) as rspan:
+            outcome = self._request_outcome_impl(start_time, segment_seconds, tel)
+            if tel.enabled:
+                rspan.set(
+                    coverage=outcome.coverage,
+                    retries=outcome.retries,
+                    hedges=outcome.hedges,
+                    timed_out=outcome.timed_out,
+                )
+                tel.inc("coordinator.requests")
+                if outcome.retries:
+                    tel.inc("resilience.retries", outcome.retries)
+                if outcome.hedges:
+                    tel.inc("resilience.hedges", outcome.hedges)
+                if outcome.coverage < 1.0:
+                    tel.inc("resilience.degraded_queries")
+        return outcome
+
+    def _request_outcome_impl(
+        self, start_time: float, segment_seconds: dict[int, float], tel
+    ) -> RequestOutcome:
         policy = self.policy
         injector = self.injector
         if injector is not None:
@@ -226,40 +254,48 @@ class ClusterSimulator:
         for machine_id, jobs in placement.items():
             is_coordinator = machine_id == 0
             arrive = dispatched if is_coordinator else dispatched + out_hop
-            if (
-                injector is not None
-                and not is_coordinator
-                and injector.drop_dispatch(machine_id, start_time)
-            ):
-                # Lost on the wire: the coordinator times out and resends.
-                retries += 1
-                arrive += policy.backoff(0) + out_hop
-                injector.record(
-                    "retry", at=start_time, machine_id=machine_id, detail="dispatch resent"
-                )
-            slow = injector.slowdown(machine_id, start_time) if injector else 1.0
-            finish = self._schedule_jobs(
-                machine_id, arrive, [duration * slow for _, duration in jobs]
-            )
-            crash_at = (
-                injector.crash_during(self._machine_by_id[machine_id], arrive, finish)
-                if injector is not None
-                else None
-            )
-            if crash_at is not None:
-                # Machine died mid-execution: every job fails over to a
-                # replica after one backoff (single failover level).
-                for seg_no, duration in jobs:
-                    deferred.append((seg_no, duration, crash_at + policy.backoff(0)))
+            with tel.span(
+                "machine.execute",
+                machine_id=machine_id,
+                segments=[seg_no for seg_no, _ in jobs],
+            ) as mspan:
+                if (
+                    injector is not None
+                    and not is_coordinator
+                    and injector.drop_dispatch(machine_id, start_time)
+                ):
+                    # Lost on the wire: the coordinator times out and resends.
                     retries += 1
+                    arrive += policy.backoff(0) + out_hop
+                    mspan.event("dispatch-resent")
                     injector.record(
-                        "failover", at=crash_at, machine_id=machine_id, seg_no=seg_no
+                        "retry", at=start_time, machine_id=machine_id, detail="dispatch resent"
                     )
-                continue
-            respond = finish if is_coordinator else finish + back_hop
-            for seg_no, _ in jobs:
-                seg_respond[seg_no] = respond
-                seg_source[seg_no] = machine_id
+                slow = injector.slowdown(machine_id, start_time) if injector else 1.0
+                finish = self._schedule_jobs(
+                    machine_id, arrive, [duration * slow for _, duration in jobs]
+                )
+                crash_at = (
+                    injector.crash_during(self._machine_by_id[machine_id], arrive, finish)
+                    if injector is not None
+                    else None
+                )
+                if crash_at is not None:
+                    # Machine died mid-execution: every job fails over to a
+                    # replica after one backoff (single failover level).
+                    mspan.set(outcome="crashed", crash_at=crash_at)
+                    for seg_no, duration in jobs:
+                        deferred.append((seg_no, duration, crash_at + policy.backoff(0)))
+                        retries += 1
+                        injector.record(
+                            "failover", at=crash_at, machine_id=machine_id, seg_no=seg_no
+                        )
+                    continue
+                respond = finish if is_coordinator else finish + back_hop
+                mspan.set(outcome="ok", simulated_finish=finish)
+                for seg_no, _ in jobs:
+                    seg_respond[seg_no] = respond
+                    seg_source[seg_no] = machine_id
 
         for seg_no, duration, ready in deferred:
             holders = [
@@ -436,6 +472,7 @@ class ClusterSimulator:
         """Duplicate slow segments on alternate replicas; keep the winner."""
         policy = self.policy
         injector = self.injector
+        tel = get_telemetry()
         hedge_start = dispatched + policy.hedge_after
         hedges = 0
         for seg_no in sorted(seg_respond):
@@ -453,11 +490,18 @@ class ClusterSimulator:
             chosen = self._least_loaded(alternates, {})
             is_coordinator = chosen.machine_id == 0
             arrive = hedge_start if is_coordinator else hedge_start + out_hop
-            slow = injector.slowdown(chosen.machine_id, hedge_start) if injector else 1.0
-            finish = self._schedule_jobs(
-                chosen.machine_id, arrive, [segment_seconds[seg_no] * slow]
-            )
-            hedged = finish if is_coordinator else finish + back_hop
+            with tel.span(
+                "hedge.dispatch",
+                machine_id=chosen.machine_id,
+                seg_no=seg_no,
+                primary=source,
+            ) as hspan:
+                slow = injector.slowdown(chosen.machine_id, hedge_start) if injector else 1.0
+                finish = self._schedule_jobs(
+                    chosen.machine_id, arrive, [segment_seconds[seg_no] * slow]
+                )
+                hedged = finish if is_coordinator else finish + back_hop
+                hspan.set(simulated_finish=hedged, won=hedged < respond)
             hedges += 1
             if injector is not None:
                 injector.record(

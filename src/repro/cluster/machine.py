@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ClusterError
+from ..telemetry import get_telemetry
 
 __all__ = ["Machine", "make_cluster", "segment_holders"]
 
@@ -23,10 +24,21 @@ class Machine:
     cores: int = 32
     segments: list[int] = field(default_factory=list)
     alive: bool = True
+    #: Lifetime count of segment jobs scheduled onto this machine's cores;
+    #: purely observational (load-balance visibility in ``repro-stats``).
+    jobs_served: int = 0
 
     def __post_init__(self) -> None:
         if self.cores <= 0:
             raise ClusterError("machine needs at least one core")
+
+    def record_jobs(self, n: int) -> None:
+        """Tally ``n`` segment jobs placed on this machine."""
+        self.jobs_served += n
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("machine.jobs", n)
+            tel.set_gauge(f"machine.{self.machine_id}.jobs_served", self.jobs_served)
 
 
 def make_cluster(

@@ -29,6 +29,7 @@ from ..graph.accumulators import MapAccum
 from ..graph.txn import Snapshot
 from ..graph.vertex_set import VertexSet
 from ..index.bitmap import Bitmap
+from ..telemetry import get_telemetry
 from .action import EmbeddingAction
 from .embedding import check_compatible
 from .service import EmbeddingService
@@ -80,26 +81,33 @@ def vector_search(
             f"{representative.dimension}"
         )
 
+    tel = get_telemetry()
     merged: list[tuple[float, str, int]] = []
-    for qualified, vertex_type, _ in resolved:
-        store = service.store(vertex_type, qualified.split(".", 1)[1])
-        bitmaps = None
-        if options.filter is not None:
-            vids = options.filter.vids_of_type(vertex_type)
-            if not vids:
-                continue
-            bitmaps = [
-                Bitmap.wrap(mask) for mask in snapshot.bitmap_from_vids(vertex_type, vids)
-            ]
-            while len(bitmaps) < store.num_segments:
-                bitmaps.append(Bitmap.empty(store.segment_size))
-        action = EmbeddingAction(store)
-        result = action.topk(
-            query, k, snapshot_tid=snapshot.tid, ef=options.ef, bitmaps=bitmaps
-        )
-        merged.extend(
-            (float(dist), vertex_type, int(vid)) for vid, dist in result
-        )
+    with tel.span(
+        "vector.search", k=k, attributes=list(vector_attributes)
+    ) as vspan:
+        for qualified, vertex_type, _ in resolved:
+            store = service.store(vertex_type, qualified.split(".", 1)[1])
+            bitmaps = None
+            if options.filter is not None:
+                vids = options.filter.vids_of_type(vertex_type)
+                if not vids:
+                    continue
+                bitmaps = [
+                    Bitmap.wrap(mask)
+                    for mask in snapshot.bitmap_from_vids(vertex_type, vids)
+                ]
+                while len(bitmaps) < store.num_segments:
+                    bitmaps.append(Bitmap.empty(store.segment_size))
+            action = EmbeddingAction(store)
+            with tel.span("vector.attribute", attribute=qualified):
+                result = action.topk(
+                    query, k, snapshot_tid=snapshot.tid, ef=options.ef, bitmaps=bitmaps
+                )
+            merged.extend(
+                (float(dist), vertex_type, int(vid)) for vid, dist in result
+            )
+        vspan.set(merged_candidates=len(merged))
 
     merged.sort(key=lambda item: item[0])
     top = merged[:k]

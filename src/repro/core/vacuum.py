@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..graph.storage import GraphStore
+from ..telemetry import get_telemetry
 from .service import EmbeddingService, EmbeddingStore
 
 __all__ = ["VacuumManager", "VacuumStats", "tune_merge_threads"]
@@ -102,23 +103,30 @@ class VacuumManager:
         Returns the number of records flushed.
         """
         target = self.graph_store.last_tid if up_to_tid is None else up_to_tid
+        tel = get_telemetry()
         start = time.perf_counter()
         # The merge lock serializes this against index_merge, which reads
         # AND reassigns store.delta_files — an unlocked append between its
         # copy and reassignment would silently drop this delta file when the
-        # two background vacuum loops interleave.
+        # two background vacuum loops interleave.  Telemetry is recorded
+        # after release so its leaf locks never nest under the merge lock.
         with self._merge_lock:
             dfile = store.delta_store.cut(target)
             if dfile is None:
-                return 0
-            if self.spill_dir is not None:
-                name = f"{store.vertex_type}.{store.embedding.name}.{dfile.from_tid}-{dfile.to_tid}.delta"
-                dfile.save(self.spill_dir / name)
-            store.delta_files.append(dfile)
-            self.stats.delta_merges += 1
-            self.stats.records_flushed += len(dfile)
-            self.stats.delta_merge_seconds += time.perf_counter() - start
-            return len(dfile)
+                flushed = 0
+            else:
+                if self.spill_dir is not None:
+                    name = f"{store.vertex_type}.{store.embedding.name}.{dfile.from_tid}-{dfile.to_tid}.delta"
+                    dfile.save(self.spill_dir / name)
+                store.delta_files.append(dfile)
+                self.stats.delta_merges += 1
+                self.stats.records_flushed += len(dfile)
+                self.stats.delta_merge_seconds += time.perf_counter() - start
+                flushed = len(dfile)
+        if flushed and tel.enabled:
+            tel.observe("vacuum.delta_merge_seconds", time.perf_counter() - start)
+            tel.observe("vacuum.delta_size", flushed)
+        return flushed
 
     def index_merge(self, store: EmbeddingStore, num_threads: int | None = None) -> int:
         """Fold all flushed delta files into new per-segment index snapshots.
@@ -127,6 +135,8 @@ class VacuumManager:
         delta files are released only once no running transaction can still
         read them.
         """
+        tel = get_telemetry()
+        merge_started = time.perf_counter()
         with self._merge_lock:
             files = list(store.delta_files)
             if not files:
@@ -164,7 +174,12 @@ class VacuumManager:
             self.stats.index_merges += 1
             self.stats.records_merged += merged
             self.stats.index_merge_seconds += time.perf_counter() - start
-            return merged
+        if tel.enabled:
+            tel.observe(
+                "vacuum.index_merge_seconds", time.perf_counter() - merge_started
+            )
+            tel.inc("vacuum.records_merged", merged)
+        return merged
 
     def _gc_store(self, store: EmbeddingStore) -> None:
         """Reclaim retired delta files and index snapshots no reader needs."""
@@ -177,8 +192,12 @@ class VacuumManager:
             else:
                 survivors.append((release_tid, dfile))
         store.retired_delta_files = survivors
+        reclaimed = 0
         for segment in store.segments():
-            self.stats.snapshots_gced += segment.gc_snapshots(min_tid)
+            reclaimed += segment.gc_snapshots(min_tid)
+        self.stats.snapshots_gced += reclaimed
+        if reclaimed:
+            get_telemetry().inc("vacuum.versions_reclaimed", reclaimed)
 
     def run_once(self, num_threads: int | None = None) -> dict:
         """One full vacuum round across every embedding store (+ graph vacuum)."""

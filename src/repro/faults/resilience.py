@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ClusterError
+from ..telemetry import get_telemetry
 
 __all__ = ["CircuitBreaker", "ResiliencePolicy"]
 
@@ -98,6 +99,7 @@ class CircuitBreaker:
             return True
         if now >= self._opened_at[machine_id] + self.cooldown:
             self._state[machine_id] = self._HALF_OPEN
+            get_telemetry().inc("resilience.breaker_half_open")
             return True
         return False
 
@@ -107,20 +109,24 @@ class CircuitBreaker:
             # Failed probe: straight back to open with a fresh cooldown.
             self._state[machine_id] = self._OPEN
             self._opened_at[machine_id] = now
+            get_telemetry().inc("resilience.breaker_open")
             return True
         count = self._failures.get(machine_id, 0) + 1
         self._failures[machine_id] = count
         if count >= self.threshold and self.state(machine_id) == self._CLOSED:
             self._state[machine_id] = self._OPEN
             self._opened_at[machine_id] = now
+            get_telemetry().inc("resilience.breaker_open")
             return True
         return False
 
     def record_success(self, machine_id: int) -> None:
         """A completed job closes the circuit and clears the failure streak."""
         self._failures.pop(machine_id, None)
-        self._state.pop(machine_id, None)
+        previous = self._state.pop(machine_id, None)
         self._opened_at.pop(machine_id, None)
+        if previous == self._HALF_OPEN:
+            get_telemetry().inc("resilience.breaker_close")
 
     def reset(self, machine_id: int | None = None) -> None:
         """Forget state for one machine (explicit re-admission) or all."""

@@ -31,6 +31,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from ..errors import SimulatedCrash, WALCorruptionError
+from ..telemetry import get_telemetry
 
 __all__ = ["WriteAheadLog"]
 
@@ -109,6 +110,13 @@ class WriteAheadLog:
                 os.fsync(self._file.fileno())
         else:
             self._memory.append(record)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.inc("wal.records")
+            if self._file is not None:
+                tel.inc("wal.flushes")
+                if self.fsync:
+                    tel.inc("wal.fsyncs")
 
     def replay(self) -> Iterator[tuple[int, list[list]]]:
         """Yield ``(tid, ops)`` for every committed transaction, in order.
@@ -117,6 +125,7 @@ class WriteAheadLog:
         away; a corrupt record followed by more data raises
         :class:`WALCorruptionError`.
         """
+        tel = get_telemetry()
         if self.path is not None:
             if not self.path.exists():
                 return
@@ -132,6 +141,7 @@ class WriteAheadLog:
                 if record is None:
                     tail = b"".join(lines[lineno + 1 :])
                     if tail.strip():
+                        tel.inc("wal.replay_corrupt")
                         raise WALCorruptionError(
                             f"corrupt WAL record at {self.path}:{lineno + 1} is "
                             f"followed by {len(tail)} more bytes; refusing to "
@@ -145,11 +155,14 @@ class WriteAheadLog:
                         len(raw),
                     )
                     os.truncate(self.path, clean_bytes)
+                    tel.inc("wal.replay_truncated")
                     return
                 clean_bytes += len(raw)
+                tel.inc("wal.replayed_records")
                 yield record["tid"], [_unjsonify(op) for op in record["ops"]]
         else:
             for record in self._memory:
+                tel.inc("wal.replayed_records")
                 yield record["tid"], [_unjsonify(op) for op in record["ops"]]
 
     @staticmethod

@@ -45,6 +45,7 @@ from ..graph.pattern import (
 from ..graph.vertex import Vertex
 from ..graph.vertex_set import RankedVertexSet, VertexSet
 from ..index.bitmap import Bitmap
+from ..telemetry import get_telemetry
 from ..types import distance as metric_distance
 from . import ast_nodes as ast
 from .functions import BUILTINS, CONTEXT_BUILTINS, call_builtin
@@ -398,8 +399,11 @@ def _bitmaps_for(ctx: ExecutionContext, vertex_type: str, candidates: VertexSet)
 
 def execute_select(block: ast.SelectBlock, ctx: ExecutionContext) -> Any:
     """Execute one SELECT block; returns a VertexSet / ranked set / table."""
-    info = analyze_select(block, ctx.db.schema, known_vars=ctx.known_set_vars())
-    plan = build_plan(info)
+    tel = get_telemetry()
+    with tel.span("gsql.plan", record="gsql.plan_seconds") as pspan:
+        info = analyze_select(block, ctx.db.schema, known_vars=ctx.known_set_vars())
+        plan = build_plan(info)
+        pspan.set(shape=info.shape)
     ctx.metrics["last_plan"] = plan.explain()
     shape = info.shape
     if shape == "pure":

@@ -18,6 +18,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import GSQLSemanticError, LoadingError
+from ..telemetry import get_telemetry
 from ..types import AttrType, DataType, IndexType, Metric
 from . import ast_nodes as ast
 from .executor import ExecutionContext, eval_expr, execute_procedure, execute_select
@@ -59,6 +60,9 @@ class QueryResult:
     sets: dict[str, Any] = field(default_factory=dict)  # vertex-set variables
     accumulators: dict[str, Any] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Wall time of the whole run() measured from its telemetry span; 0.0
+    #: when telemetry is disabled.
+    elapsed_seconds: float = 0.0
 
     def print_values(self) -> list[Any]:
         return self.prints
@@ -77,10 +81,17 @@ class GSQLSession:
 
     # ------------------------------------------------------------ frontends
     def run(self, text: str, **params) -> QueryResult:
-        nodes = parse(text)
+        tel = get_telemetry()
         result = QueryResult()
-        for node in nodes:
-            self._execute_node(node, result, params)
+        with tel.span("gsql.query", record="gsql.query_seconds") as qspan:
+            with tel.span("gsql.parse", record="gsql.parse_seconds"):
+                nodes = parse(text)
+            with tel.span("gsql.execute", record="gsql.execute_seconds"):
+                for node in nodes:
+                    self._execute_node(node, result, params)
+        if tel.enabled:
+            tel.inc("gsql.queries")
+            result.elapsed_seconds = qspan.duration_seconds
         return result
 
     def install(self, text: str) -> list[str]:
@@ -103,8 +114,16 @@ class GSQLSession:
         proc = self.installed_queries.get(name)
         if proc is None:
             raise GSQLSemanticError(f"query '{name}' is not installed")
+        tel = get_telemetry()
         result = QueryResult()
-        self._run_procedure(proc, result, params)
+        with tel.span(
+            "gsql.query", record="gsql.query_seconds", procedure=name
+        ) as qspan:
+            with tel.span("gsql.execute", record="gsql.execute_seconds"):
+                self._run_procedure(proc, result, params)
+        if tel.enabled:
+            tel.inc("gsql.queries")
+            result.elapsed_seconds = qspan.duration_seconds
         return result
 
     def explain(self, text: str, **params) -> str:

@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import VectorSearchError
+from ..telemetry import get_telemetry
 from ..types import Metric
 from .interface import IndexStats, SearchResult, VectorIndex
 
@@ -274,6 +275,13 @@ class HNSWIndex(VectorIndex):
         if self._entry_point is None:
             return SearchResult.empty()
         ef = max(ef or self.DEFAULT_EF, k)
+        tel = get_telemetry()
+        if tel.enabled:
+            # Per-search instrument deltas ride on the cumulative IndexStats
+            # so the disabled path pays nothing beyond this branch.
+            dist_before = self._stats.num_distance_computations
+            hops_before = self._stats.num_hops
+            search_started = time.perf_counter()
         collect = None
         if filter_fn is not None:
             ids = self._ids
@@ -284,6 +292,15 @@ class HNSWIndex(VectorIndex):
         entry = self._greedy_descend(query, self._entry_point, self._max_level, 0)
         found = self._search_layer(query, entry, ef, 0, collect_filter=collect)
         top = found[:k]
+        if tel.enabled:
+            tel.inc("hnsw.searches")
+            tel.observe("hnsw.search_seconds", time.perf_counter() - search_started)
+            tel.observe(
+                "hnsw.distance_computations",
+                self._stats.num_distance_computations - dist_before,
+            )
+            tel.observe("hnsw.hops", self._stats.num_hops - hops_before)
+            tel.observe("hnsw.ef_expansions", ef)
         if not top:
             return SearchResult.empty()
         dists, rows = zip(*top)

@@ -29,6 +29,7 @@ import numpy as np
 from .core.database import TigerVectorDB
 from .errors import ReproError
 from .graph.vertex_set import RankedVertexSet, VertexSet
+from .telemetry import Telemetry, format_snapshot, use_telemetry
 
 __all__ = ["GSQLShell", "main"]
 
@@ -38,6 +39,7 @@ GSQL shell — statements end with ';'. Meta-commands:
   \\schema       show the catalog
   \\explain ...  print the plan of one SELECT block (no execution)
   \\seed N D     create an Item vertex type with N random D-dim embeddings
+  \\stats        print the live telemetry metrics snapshot
   \\q            quit
 Query parameters are not supported interactively — inline literals instead.
 """
@@ -50,6 +52,10 @@ class GSQLShell:
         self.db = db or TigerVectorDB(segment_size=1024)
         self.out = out or sys.stdout
         self._buffer: list[str] = []
+        #: Shell-owned telemetry, activated only around statement execution
+        #: (scoped via use_telemetry, so embedding a shell in tests never
+        #: leaks a live instance into the process-global slot).
+        self.telemetry = Telemetry()
 
     # ------------------------------------------------------------- plumbing
     def _print(self, *parts) -> None:
@@ -110,6 +116,8 @@ class GSQLShell:
                 self._print("usage: \\seed N DIM")
                 return True
             self._seed_demo(n, dim)
+        elif cmd == "\\stats":
+            self._print(format_snapshot(self.telemetry.registry.snapshot()))
         else:
             self._print(f"unknown meta-command {cmd!r} (\\h for help)")
         return True
@@ -132,7 +140,8 @@ class GSQLShell:
 
     def handle_statement(self, text: str) -> None:
         try:
-            result = self.db.run_gsql(text)
+            with use_telemetry(self.telemetry):
+                result = self.db.run_gsql(text)
         except ReproError as exc:
             self._print(f"error: {exc}")
             return
@@ -147,6 +156,8 @@ class GSQLShell:
             self._show_value(result.result)
         elif result.result is None and not result.prints:
             self._print("ok")
+        if result.elapsed_seconds:
+            self._print(f"({result.elapsed_seconds * 1e3:.2f} ms)")
 
     def feed(self, line: str) -> bool:
         """Process one input line; returns False when the shell should exit."""

@@ -1,0 +1,87 @@
+"""Exporters: JSON, Prometheus text exposition, and human-readable tables.
+
+All exporters consume the plain-dict output of
+:meth:`MetricsRegistry.snapshot` rather than live registries, so a snapshot
+taken at one moment can be serialized, shipped, and re-rendered without
+holding any locks.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["format_snapshot", "from_json", "to_json", "to_prometheus"]
+
+
+def to_json(snapshot: dict, indent: int | None = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> dict:
+    return json.loads(text)
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_") + suffix
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition format (untyped HELP lines omitted).
+
+    Histogram buckets are emitted cumulatively with ``le`` labels plus the
+    conventional ``_sum``/``_count`` series, counters as plain samples,
+    gauges likewise.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(f"# TYPE {_prom_name(name)} counter")
+        lines.append(f"{_prom_name(name)} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(f"# TYPE {_prom_name(name)} gauge")
+        lines.append(f"{_prom_name(name)} {value}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        lines.append(f"# TYPE {_prom_name(name)} histogram")
+        cumulative = 0
+        for bound, count in hist.get("buckets", {}).items():
+            cumulative += count
+            lines.append(
+                f'{_prom_name(name, "_bucket")}{{le="{float(bound):g}"}} {cumulative}'
+            )
+        cumulative += hist.get("overflow", 0)
+        lines.append(f'{_prom_name(name, "_bucket")}{{le="+Inf"}} {cumulative}')
+        lines.append(f'{_prom_name(name, "_sum")} {hist.get("sum", 0.0)}')
+        lines.append(f'{_prom_name(name, "_count")} {hist.get("count", 0)}')
+    return "\n".join(lines) + "\n"
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Aligned human-readable table (the ``\\stats`` / repro-stats view)."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters")
+        width = max(len(n) for n in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges")
+        width = max(len(n) for n in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms (count / mean / p50 / p95 / p99 / max)")
+        width = max(len(n) for n in histograms)
+        for name, hist in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  {hist['count']}"
+                f" / {hist['mean']:.6g}"
+                f" / {hist['p50']:.6g}"
+                f" / {hist['p95']:.6g}"
+                f" / {hist['p99']:.6g}"
+                f" / {hist['max']:.6g}"
+            )
+    if not lines:
+        return "(no instruments recorded)"
+    return "\n".join(lines)

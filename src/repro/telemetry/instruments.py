@@ -1,0 +1,78 @@
+"""Canonical instrument catalog.
+
+Instrument names are dotted ``subsystem.measurement`` strings; registries
+create them lazily so this catalog is documentation plus bucket presets,
+not a registration requirement.  Keeping the names here (and only here)
+gives ``repro-stats`` and the docs one source of truth, and lets
+``bucket_preset`` route count-shaped histograms (distance computations,
+hops, delta sizes) onto count buckets instead of latency buckets.
+"""
+
+from __future__ import annotations
+
+from .metrics import DEFAULT_COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS
+
+__all__ = ["INSTRUMENTS", "bucket_preset"]
+
+#: name -> (kind, description).  Kind is "counter" | "gauge" | "histogram".
+INSTRUMENTS: dict[str, tuple[str, str]] = {
+    # ---- query layer -----------------------------------------------------
+    "query.count": ("counter", "distributed top-k queries executed"),
+    "query.latency_seconds": ("histogram", "end-to-end distributed query latency"),
+    "query.slow": ("counter", "queries over the slow-query threshold"),
+    # ---- HNSW ------------------------------------------------------------
+    "hnsw.searches": ("counter", "HNSW top-k searches"),
+    "hnsw.distance_computations": ("histogram", "distance computations per search"),
+    "hnsw.hops": ("histogram", "graph hops per search"),
+    "hnsw.ef_expansions": ("histogram", "effective ef (candidate expansions) per search"),
+    "hnsw.search_seconds": ("histogram", "single-segment HNSW search latency"),
+    # ---- MVCC / vacuum ---------------------------------------------------
+    "vacuum.delta_size": ("histogram", "delta records merged per delta_merge"),
+    "vacuum.delta_merge_seconds": ("histogram", "stage-1 delta merge duration"),
+    "vacuum.index_merge_seconds": ("histogram", "stage-2 index merge duration"),
+    "vacuum.versions_reclaimed": ("counter", "MVCC snapshot versions reclaimed"),
+    "vacuum.records_merged": ("counter", "delta records flushed into segments"),
+    # ---- WAL -------------------------------------------------------------
+    "wal.records": ("counter", "WAL records appended"),
+    "wal.flushes": ("counter", "WAL buffer flushes"),
+    "wal.fsyncs": ("counter", "fsync-equivalent durability barriers"),
+    "wal.replayed_records": ("counter", "records recovered during replay"),
+    "wal.replay_truncated": ("counter", "replays stopped at a torn tail"),
+    "wal.replay_corrupt": ("counter", "replays aborted on mid-file corruption"),
+    # ---- GSQL ------------------------------------------------------------
+    "gsql.queries": ("counter", "GSQL statements executed"),
+    "gsql.parse_seconds": ("histogram", "GSQL parse phase"),
+    "gsql.plan_seconds": ("histogram", "GSQL analyze+plan phase"),
+    "gsql.execute_seconds": ("histogram", "GSQL execute phase"),
+    "gsql.query_seconds": ("histogram", "GSQL whole-statement latency"),
+    # ---- cluster simulator ----------------------------------------------
+    "coordinator.requests": ("counter", "simulated coordinator requests"),
+    "machine.jobs": ("counter", "segment jobs scheduled onto machine cores"),
+    # ---- resilience ------------------------------------------------------
+    "resilience.retries": ("counter", "segment search retries after injected faults"),
+    "resilience.hedges": ("counter", "hedged duplicate dispatches"),
+    "resilience.degraded_queries": ("counter", "queries answered with coverage < 1"),
+    "resilience.breaker_open": ("counter", "circuit breaker closed->open transitions"),
+    "resilience.breaker_half_open": ("counter", "circuit breaker open->half-open probes"),
+    "resilience.breaker_close": ("counter", "circuit breaker half-open->closed recoveries"),
+}
+
+#: histogram names that count things rather than time them
+_COUNT_SHAPED = (
+    "hnsw.distance_computations",
+    "hnsw.hops",
+    "hnsw.ef_expansions",
+    "vacuum.delta_size",
+)
+
+
+def bucket_preset(name: str) -> tuple[float, ...]:
+    """Default bucket layout for a histogram name (latency unless count-shaped)."""
+    if name in _COUNT_SHAPED:
+        return DEFAULT_COUNT_BUCKETS
+    return DEFAULT_LATENCY_BUCKETS
+
+
+def describe(name: str) -> str:
+    kind_desc = INSTRUMENTS.get(name)
+    return kind_desc[1] if kind_desc else ""

@@ -1,0 +1,245 @@
+"""Counters, gauges, and fixed-bucket latency histograms.
+
+A :class:`MetricsRegistry` is a process-global, thread-safe catalog of named
+instruments.  Instruments are created lazily on first use
+(``registry.counter("wal.records").inc()``) so instrumented code never has
+to pre-declare anything; :mod:`repro.telemetry.instruments` holds the
+canonical name catalog and per-instrument bucket presets.
+
+Histograms are fixed-bucket (Prometheus-style): ``observe`` finds the first
+bucket whose upper bound contains the value, percentiles are read back as
+the upper bound of the bucket where the cumulative count crosses the rank.
+This keeps every observation O(log buckets) with bounded memory, which is
+what lets the registry sit on hot query paths.
+
+Thread-safety: every instrument carries its own lock and the registry
+serializes instrument creation and snapshots, so concurrent writers from
+query threads, vacuum threads, and the WAL never lose updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Exponential latency buckets in seconds: 10us .. 25s (then +Inf overflow).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+    for base in (1.0, 2.5, 5.0)
+)[:-1]
+
+#: Power-of-4 count buckets: distance computations, hops, delta sizes.
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = tuple(float(4**i) for i in range(13))
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def snapshot(self) -> int | float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile readback.
+
+    ``buckets`` are ascending upper bounds; one implicit +Inf overflow
+    bucket is appended.  ``percentile(p)`` returns the upper bound of the
+    bucket where the cumulative count first reaches ``p`` of the total (for
+    the overflow bucket, the maximum observed value), which is exact to
+    bucket resolution — the standard fixed-bucket tradeoff.
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # +1: overflow bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket containing the ``p``-quantile (p in [0, 1])."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("percentile must be in [0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = max(1, int(p * total + 0.5))
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if cumulative >= rank:
+                    if index < len(self.buckets):
+                        # Clamp to the observed max so coarse buckets never
+                        # report a quantile above any recorded value.
+                        return min(self.buckets[index], self._max)
+                    return self._max  # overflow bucket: best answer is the max
+            return self._max
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total, total_sum = self._count, self._sum
+            lo = self._min if total else 0.0
+            hi = self._max if total else 0.0
+        out = {
+            "count": total,
+            "sum": total_sum,
+            "min": lo,
+            "max": hi,
+            "mean": total_sum / total if total else 0.0,
+            "buckets": {str(b): c for b, c in zip(self.buckets, counts)},
+            "overflow": counts[-1],
+        }
+        out["p50"] = self.percentile(0.50)
+        out["p95"] = self.percentile(0.95)
+        out["p99"] = self.percentile(0.99)
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe, lazily-populated catalog of named instruments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # --------------------------------------------------------- get-or-create
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            if buckets is None:
+                from .instruments import bucket_preset
+
+                buckets = bucket_preset(name)
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name, buckets))
+        return instrument
+
+    # ----------------------------------------------------------- conveniences
+    def inc(self, name: str, n: int | float = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -------------------------------------------------------------- readback
+    def snapshot(self) -> dict:
+        """One JSON-able dict of every instrument's current state."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.snapshot() for n, c in sorted(counters.items())},
+            "gauges": {n: g.snapshot() for n, g in sorted(gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and ``\\stats``-adjacent tooling)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,40 @@
+"""Per-query profiles.
+
+A :class:`QueryProfile` bundles one query's trace tree with the scalar
+facts callers actually chart (latency, coverage, retries, hedges), so the
+bench harness and tests can attach it to a search output and serialize it
+without re-walking the span tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .tracing import Span, format_span_tree
+
+__all__ = ["QueryProfile"]
+
+
+@dataclass
+class QueryProfile:
+    trace: Span
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.trace.duration_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_seconds": self.duration_seconds,
+            "metrics": dict(self.metrics),
+            "trace": self.trace.to_dict(),
+        }
+
+    def format(self) -> str:
+        lines = [f"query profile ({self.duration_seconds * 1e3:.3f} ms)"]
+        for key, value in sorted(self.metrics.items()):
+            lines.append(f"  {key}: {value}")
+        lines.append(format_span_tree(self.trace, indent=1))
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Telemetry through the real distributed query path.
+
+The acceptance scenario for the observability layer: a distributed top-k
+under a seeded straggler plan must produce a trace tree with coordinator /
+machine / segment spans *including the hedged duplicate dispatch*, and the
+metrics snapshot must report the hedge counter.  A second battery pins the
+contract that telemetry never changes results: with telemetry disabled the
+search output is identical to an uninstrumented run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedSearcher
+from repro.faults import FaultInjector, FaultPlan, ResiliencePolicy
+from repro.telemetry import (
+    NullTelemetry,
+    Telemetry,
+    format_span_tree,
+    use_telemetry,
+)
+
+
+def make_searcher(db, plan=None, policy=None, rf=2, machines=2):
+    store = db.service.store("Post", "content_emb")
+    return DistributedSearcher(
+        store,
+        machines,
+        replication_factor=rf,
+        injector=FaultInjector(plan) if plan is not None else None,
+        policy=policy,
+    )
+
+
+class TestStragglerTrace:
+    """A hedged query leaves a complete trace and counts its hedges."""
+
+    @pytest.fixture
+    def hedged(self, loaded_post_db):
+        db = loaded_post_db
+        # Machine 0 — the first holder of every segment, hence the primary
+        # dispatch target — straggles 10^4x for the whole run (the straggle
+        # clock is the query ordinal); with rf=2 machine 1 is always an
+        # alternate, and hedge_after=50ms guarantees the projected cost
+        # (elapsed * 1e4 >> 50ms) crosses the threshold on every segment.
+        plan = FaultPlan(seed=31).straggle(0, factor=1e4, start=0.0, end=100.0)
+        searcher = make_searcher(
+            db, plan, policy=ResiliencePolicy(hedge_after=0.05)
+        )
+        return db, searcher
+
+    def test_trace_tree_contains_hedge_span(self, hedged):
+        db, searcher = hedged
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), db.snapshot() as snap:
+            output = searcher.search(
+                db._test_vectors[3], 10, snapshot_tid=snap.tid, ef=64
+            )
+
+        assert output.hedges >= 1
+        assert "hedge" in searcher.injector.trace_kinds()
+
+        trace = telemetry.last_trace()
+        assert trace.name == "coordinator.query"
+        dispatches = trace.find("machine.dispatch")
+        segments = trace.find("segment.search")
+        hedgespans = trace.find("hedge.dispatch")
+        assert len(dispatches) == searcher.store.num_segments
+        assert len(segments) >= searcher.store.num_segments
+        assert len(hedgespans) == output.hedges
+        # The duplicate dispatch nests under the straggling primary's span
+        # and names both parties of the race.
+        hedge = hedgespans[0]
+        assert hedge.attrs["primary"] == 0
+        assert hedge.attrs["machine_id"] == 1
+        assert any(hedge in d.children for d in dispatches)
+        assert trace.attrs["hedges"] == output.hedges
+        # The rendered tree is what README shows; it must mention the hedge.
+        assert "hedge.dispatch" in format_span_tree(trace)
+
+    def test_snapshot_reports_hedge_counter(self, hedged):
+        db, searcher = hedged
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), db.snapshot() as snap:
+            for query in db._test_vectors[:3]:
+                searcher.search(query, 10, snapshot_tid=snap.tid, ef=64)
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["counters"]["resilience.hedges"] >= 3
+        assert snapshot["counters"]["query.count"] == 3
+        assert snapshot["counters"]["hnsw.searches"] >= 3 * searcher.store.num_segments
+        assert snapshot["histograms"]["query.latency_seconds"]["count"] == 3
+
+    def test_hedging_does_not_change_results(self, hedged):
+        db, searcher = hedged
+        baseline = make_searcher(db)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), db.snapshot() as snap:
+            want = baseline.search(db._test_vectors[0], 10, snapshot_tid=snap.tid, ef=64)
+            got = searcher.search(db._test_vectors[0], 10, snapshot_tid=snap.tid, ef=64)
+        assert np.array_equal(want.result.ids, got.result.ids)
+        assert np.allclose(want.result.distances, got.result.distances)
+
+    def test_profile_attached_and_serializable(self, hedged):
+        db, searcher = hedged
+        with use_telemetry(Telemetry()), db.snapshot() as snap:
+            output = searcher.search(
+                db._test_vectors[5], 10, snapshot_tid=snap.tid, ef=64
+            )
+        profile = output.profile
+        assert profile is not None
+        assert profile.metrics["hedges"] == output.hedges
+        assert profile.metrics["coverage"] == 1.0
+        payload = json.dumps(profile.to_dict())
+        assert "hedge.dispatch" in payload
+
+
+class TestDegradedQueryMetrics:
+    """Partial coverage and breaker activity show up in the snapshot."""
+
+    def test_partial_coverage_metric(self, loaded_post_db):
+        db = loaded_post_db
+        plan = FaultPlan(seed=32).fail_segment(1, failures=10)
+        searcher = make_searcher(
+            db, plan, rf=1, policy=ResiliencePolicy(allow_partial=True)
+        )
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), db.snapshot() as snap:
+            output = searcher.search(
+                db._test_vectors[0], 5, snapshot_tid=snap.tid, ef=64
+            )
+        assert output.coverage < 1.0
+
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["counters"]["resilience.degraded_queries"] == 1
+        assert snapshot["counters"]["resilience.retries"] >= 3
+        assert snapshot["counters"]["resilience.breaker_open"] >= 1
+
+        trace = telemetry.last_trace()
+        assert trace.attrs["coverage"] == output.coverage
+        assert trace.find("segment-lost"), "lost segment must appear as an event"
+        assert output.profile.metrics["failed_segments"] == [1]
+
+
+class TestDisabledPathUnchanged:
+    """With telemetry off, search output is identical and profile-free."""
+
+    def test_results_identical_across_modes(self, loaded_post_db):
+        db = loaded_post_db
+        query = db._test_vectors[9]
+        searcher = make_searcher(db)
+        with db.snapshot() as snap:
+            plain = searcher.search(query, 10, snapshot_tid=snap.tid, ef=64)
+            with use_telemetry(NullTelemetry()):
+                null = searcher.search(query, 10, snapshot_tid=snap.tid, ef=64)
+            with use_telemetry(Telemetry()):
+                live = searcher.search(query, 10, snapshot_tid=snap.tid, ef=64)
+        for other in (null, live):
+            assert np.array_equal(plain.result.ids, other.result.ids)
+            assert np.array_equal(plain.result.distances, other.result.distances)
+            assert other.coverage == plain.coverage == 1.0
+        assert plain.profile is None
+        assert null.profile is None
+        assert live.profile is not None
