@@ -44,6 +44,11 @@ class LoadResult:
     failed: int = 0
     partial: int = 0
     mean_coverage: float = 1.0
+    #: Open-loop runs only: the Poisson arrival rate that was offered and
+    #: the number of arrivals generated (compare with ``completed`` +
+    #: ``failed`` to see shed/backlog behavior under overload).
+    target_qps: float | None = None
+    offered: int = 0
 
 
 class ClosedLoopLoadGenerator:
@@ -73,7 +78,7 @@ class ClosedLoopLoadGenerator:
             raise ClusterError("need at least one measured sample")
         self.simulator.reset()
         samples = itertools.cycle(sample_segment_seconds)
-        chaos = self.simulator.injector is not None
+        chaos = self._resilient()
         self._failed = 0
         self._coverages: list[float] = []
         # Event heap holds (completion_time, seq, issue_time).
@@ -108,6 +113,75 @@ class ClosedLoopLoadGenerator:
             failed=self._failed,
             partial=int(np.count_nonzero(coverages < 1.0)),
             mean_coverage=float(coverages.mean()),
+        )
+
+    def run_open_loop(
+        self,
+        sample_segment_seconds: list[dict[int, float]],
+        duration_seconds: float = 10.0,
+        target_qps: float = 1000.0,
+        seed: int = 0,
+    ) -> LoadResult:
+        """Seeded open-loop (Poisson-arrival) load at ``target_qps``.
+
+        Unlike the closed loop, arrivals do not wait for completions, so a
+        target above capacity builds a genuine backlog — this is the mode
+        the serve benchmark uses to drive overload and measure shed and
+        deadline behavior.  Inter-arrival gaps are exponential draws from
+        ``numpy.random.default_rng(seed)``, so runs are reproducible.
+        """
+        if not sample_segment_seconds:
+            raise ClusterError("need at least one measured sample")
+        if target_qps <= 0:
+            raise ClusterError("target_qps must be positive")
+        self.simulator.reset()
+        samples = itertools.cycle(sample_segment_seconds)
+        resilient = self._resilient()
+        self._failed = 0
+        self._coverages = []
+        rng = np.random.default_rng(seed)
+        latencies: list[float] = []
+        completed = 0
+        offered = 0
+        last_done = 0.0
+        arrival = 0.0
+        while True:
+            arrival += rng.exponential(1.0 / target_qps)
+            if arrival >= duration_seconds:
+                break
+            offered += 1
+            done = self._issue(arrival, next(samples), resilient)
+            latencies.append(done - arrival)
+            completed += 1
+            last_done = max(last_done, done)
+        horizon = max(last_done, duration_seconds)
+        lat = np.asarray(latencies)
+        coverages = np.asarray(self._coverages) if self._coverages else np.ones(1)
+        return LoadResult(
+            qps=completed / horizon,
+            completed=completed,
+            duration_seconds=horizon,
+            mean_latency_seconds=float(lat.mean()) if lat.size else 0.0,
+            p50_latency_seconds=float(np.percentile(lat, 50)) if lat.size else 0.0,
+            p99_latency_seconds=float(np.percentile(lat, 99)) if lat.size else 0.0,
+            connections=0,
+            failed=self._failed,
+            partial=int(np.count_nonzero(coverages < 1.0)),
+            mean_coverage=float(coverages.mean()),
+            target_qps=target_qps,
+            offered=offered,
+        )
+
+    def _resilient(self) -> bool:
+        """Whether per-request failures should be counted, not raised.
+
+        True under chaos (an injector is attached) and also when the policy
+        sets a deadline: the outcome path enforces the deadline even without
+        an injector, which is the whole point of an overload run.
+        """
+        return (
+            self.simulator.injector is not None
+            or self.simulator.policy.deadline is not None
         )
 
     def _issue(self, issue: float, sample: dict[int, float], chaos: bool) -> float:

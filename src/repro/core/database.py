@@ -31,7 +31,12 @@ from ..graph.schema import GraphSchema
 from ..graph.storage import GraphStore
 from ..graph.txn import Snapshot, Transaction
 from ..graph.vertex_set import VertexSet
-from .search import VectorSearchOptions, vector_search
+from .search import (
+    VectorSearchOptions,
+    build_topk_vertex_set,
+    vector_search,
+    vector_search_batch,
+)
 from .service import EmbeddingService
 from .vacuum import VacuumManager
 
@@ -196,6 +201,34 @@ class TigerVectorDB:
             return vector_search(
                 self.service, snap, vector_attributes, query_vector, k, options
             )
+
+    def vector_search_batch(
+        self,
+        vector_attributes: list[str],
+        query_vectors: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        snapshot: Snapshot | None = None,
+        min_fused: int = 4,
+    ) -> list[VertexSet]:
+        """Fused multi-query VectorSearch: one segment pass for all queries.
+
+        The kernel behind ``repro.serve``'s micro-batcher, exposed for
+        direct use.  All queries run against one MVCC snapshot; returns one
+        :class:`VertexSet` per query row.
+        """
+        if snapshot is not None:
+            batches = vector_search_batch(
+                self.service, snapshot, vector_attributes, query_vectors, k,
+                ef=ef, min_fused=min_fused,
+            )
+        else:
+            with self.snapshot() as snap:
+                batches = vector_search_batch(
+                    self.service, snap, vector_attributes, query_vectors, k,
+                    ef=ef, min_fused=min_fused,
+                )
+        return [build_topk_vertex_set(top, None) for top in batches]
 
     # ------------------------------------------------------------------ RBAC
     @property

@@ -34,7 +34,13 @@ from .action import EmbeddingAction
 from .embedding import check_compatible
 from .service import EmbeddingService
 
-__all__ = ["VectorSearchOptions", "vector_search"]
+__all__ = [
+    "VectorSearchOptions",
+    "build_topk_vertex_set",
+    "vector_search",
+    "vector_search_batch",
+    "vector_search_merged",
+]
 
 
 @dataclass
@@ -46,26 +52,8 @@ class VectorSearchOptions:
     ef: int | None = None
 
 
-def vector_search(
-    service: EmbeddingService,
-    snapshot: Snapshot,
-    vector_attributes: list[str],
-    query_vector: np.ndarray,
-    k: int,
-    options: VectorSearchOptions | None = None,
-) -> VertexSet:
-    """Top-k across one or more embedding attributes; returns a VertexSet.
-
-    ``vector_attributes`` entries are ``"VertexType.attr"`` strings.  With a
-    ``filter`` vertex set the search pre-filters per segment via bitmaps;
-    otherwise each segment wraps its status structure.  Results from
-    different attributes are merged by distance into a single global top-k,
-    which is well-defined because the compatibility check guarantees a
-    shared metric and dimension.
-    """
-    if k <= 0:
-        raise VectorSearchError("k must be positive")
-    options = options or VectorSearchOptions()
+def _resolve_attributes(service: EmbeddingService, vector_attributes: list[str]):
+    """Resolve ``"VertexType.attr"`` names and run the compatibility check."""
     schema = service.schema
     resolved = []
     for qualified in vector_attributes:
@@ -74,12 +62,55 @@ def vector_search(
     representative = check_compatible(
         [(qualified, emb) for qualified, _, emb in resolved]
     )
+    return resolved, representative
+
+
+def _validate_query(query_vector: np.ndarray, representative) -> np.ndarray:
     query = np.asarray(query_vector, dtype=np.float32).reshape(-1)
     if query.shape[0] != representative.dimension:
         raise DimensionMismatchError(
             f"query vector has dimension {query.shape[0]}, embedding expects "
             f"{representative.dimension}"
         )
+    return query
+
+
+def build_topk_vertex_set(
+    top: list[tuple[float, str, int]], distance_map: MapAccum | None
+) -> VertexSet:
+    """Materialize sorted ``(distance, vertex_type, vid)`` triples.
+
+    Shared by the direct :func:`vector_search` path and the serving layer
+    (``repro.serve``), so a server answer — cached, fused, or per-query — is
+    constructed exactly like a direct call's.
+    """
+    out = VertexSet(name="TopK")
+    for dist, vertex_type, vid in top:
+        out.add(vertex_type, vid)
+        if distance_map is not None:
+            distance_map.put((vertex_type, vid), dist)
+    return out
+
+
+def vector_search_merged(
+    service: EmbeddingService,
+    snapshot: Snapshot,
+    vector_attributes: list[str],
+    query_vector: np.ndarray,
+    k: int,
+    options: VectorSearchOptions | None = None,
+) -> list[tuple[float, str, int]]:
+    """Global top-k as sorted ``(distance, vertex_type, vid)`` triples.
+
+    The full VectorSearch pipeline minus result materialization; the serving
+    layer caches these triples because, unlike a :class:`VertexSet`, they
+    are immutable and carry the distances.
+    """
+    if k <= 0:
+        raise VectorSearchError("k must be positive")
+    options = options or VectorSearchOptions()
+    resolved, representative = _resolve_attributes(service, vector_attributes)
+    query = _validate_query(query_vector, representative)
 
     tel = get_telemetry()
     merged: list[tuple[float, str, int]] = []
@@ -110,10 +141,95 @@ def vector_search(
         vspan.set(merged_candidates=len(merged))
 
     merged.sort(key=lambda item: item[0])
-    top = merged[:k]
-    out = VertexSet(name="TopK")
-    for dist, vertex_type, vid in top:
-        out.add(vertex_type, vid)
-        if options.distance_map is not None:
-            options.distance_map.put((vertex_type, vid), dist)
-    return out
+    return merged[:k]
+
+
+def vector_search(
+    service: EmbeddingService,
+    snapshot: Snapshot,
+    vector_attributes: list[str],
+    query_vector: np.ndarray,
+    k: int,
+    options: VectorSearchOptions | None = None,
+) -> VertexSet:
+    """Top-k across one or more embedding attributes; returns a VertexSet.
+
+    ``vector_attributes`` entries are ``"VertexType.attr"`` strings.  With a
+    ``filter`` vertex set the search pre-filters per segment via bitmaps;
+    otherwise each segment wraps its status structure.  Results from
+    different attributes are merged by distance into a single global top-k,
+    which is well-defined because the compatibility check guarantees a
+    shared metric and dimension.
+    """
+    options = options or VectorSearchOptions()
+    top = vector_search_merged(
+        service, snapshot, vector_attributes, query_vector, k, options
+    )
+    return build_topk_vertex_set(top, options.distance_map)
+
+
+def vector_search_batch(
+    service: EmbeddingService,
+    snapshot: Snapshot,
+    vector_attributes: list[str],
+    query_vectors: np.ndarray,
+    k: int,
+    ef: int | None = None,
+    min_fused: int = 4,
+) -> list[list[tuple[float, str, int]]]:
+    """Fused multi-query VectorSearch (the serving micro-batch kernel).
+
+    Returns one sorted top-k triple list per query row.  Batches smaller
+    than ``min_fused`` fall back to the per-query HNSW path; at or above it
+    every segment is scanned once for *all* queries via
+    :meth:`EmbeddingStore.search_segment_batch` (exact brute force, so
+    recall is never below the per-query path).  Unfiltered only.
+    """
+    if k <= 0:
+        raise VectorSearchError("k must be positive")
+    queries = np.asarray(query_vectors, dtype=np.float32)
+    if queries.ndim == 1:
+        queries = queries.reshape(1, -1)
+    if queries.ndim != 2:
+        raise VectorSearchError("query_vectors must be a (Q, d) matrix")
+    resolved, representative = _resolve_attributes(service, vector_attributes)
+    if queries.shape[1] != representative.dimension:
+        raise DimensionMismatchError(
+            f"query vectors have dimension {queries.shape[1]}, embedding "
+            f"expects {representative.dimension}"
+        )
+
+    if queries.shape[0] < min_fused:
+        options = VectorSearchOptions(ef=ef)
+        return [
+            vector_search_merged(
+                service, snapshot, vector_attributes, query, k, options
+            )
+            for query in queries
+        ]
+
+    tel = get_telemetry()
+    per_query: list[list[tuple[float, str, int]]] = [[] for _ in range(queries.shape[0])]
+    with tel.span(
+        "vector.search_batch",
+        k=k,
+        batch=queries.shape[0],
+        attributes=list(vector_attributes),
+    ):
+        for qualified, vertex_type, _ in resolved:
+            store = service.store(vertex_type, qualified.split(".", 1)[1])
+            for seg_no in range(store.num_segments):
+                outputs = store.search_segment_batch(
+                    seg_no, queries, k, snapshot_tid=snapshot.tid
+                )
+                base = seg_no * store.segment_size
+                for qi, output in enumerate(outputs):
+                    per_query[qi].extend(
+                        (float(dist), vertex_type, int(base + off))
+                        for off, dist in zip(output.offsets, output.distances)
+                    )
+    results: list[list[tuple[float, str, int]]] = []
+    for merged in per_query:
+        merged.sort(key=lambda item: item[0])
+        results.append(merged[:k])
+    return results

@@ -20,10 +20,10 @@ import numpy as np
 from ..errors import UnknownTypeError, VectorSearchError
 from ..graph.schema import GraphSchema
 from ..index.bitmap import Bitmap
-from ..types import Metric, batch_distances
+from ..types import Metric, batch_distances, batch_distances_multi
 from .delta import DELETE, UPSERT, DeltaFile, DeltaRecord, DeltaStore
 from .embedding import EmbeddingType
-from .segment import EmbeddingSegment
+from .segment import EmbeddingSegment, SegmentSnapshot
 
 __all__ = ["EmbeddingService", "EmbeddingStore", "SegmentSearchOutput"]
 
@@ -135,6 +135,35 @@ class EmbeddingStore:
     def pending_delta_count(self) -> int:
         return len(self.delta_store) + sum(len(f) for f in self.delta_files)
 
+    def watermark(self) -> tuple[int, int, int, int]:
+        """Version watermark for snapshot-keyed result caching (repro.serve).
+
+        The tuple changes whenever anything that a *fresh* snapshot of this
+        store could read has changed:
+
+        - ``len(segments)`` and ``max(segment snapshot TIDs)`` move on
+          segment growth, bulk load, and index merge;
+        - ``delta_store.flushed_tid`` moves on every delta-merge cut (it is
+          monotone nondecreasing, so the tuple never repeats across a cut
+          even though ``max_tid`` resets to 0);
+        - ``delta_store.max_tid`` moves on every commit that touches this
+          store.
+
+        Two equal watermarks therefore bracket a window with no store-
+        affecting commit or vacuum, and MVCC guarantees any two snapshots
+        taken in that window read identical state.  Known (documented)
+        exception: ``bulk_load`` replaying the *same* TID mutates segment
+        snapshots in place without moving the watermark — that path is the
+        offline ingest fast path, never used on a serving store.
+        """
+        segs = self.segments()
+        return (
+            len(segs),
+            max((seg.snapshot_tid for seg in segs), default=0),
+            self.delta_store.flushed_tid,
+            self.delta_store.max_tid,
+        )
+
     # ------------------------------------------------------------ loading
     def bulk_load(self, vids: np.ndarray, vectors: np.ndarray, tid: int, num_threads: int = 1) -> None:
         """Partition a bulk batch by segment and build each directly."""
@@ -177,6 +206,36 @@ class EmbeddingStore:
         return sum(seg.live_count() for seg in self.segments())
 
     # ------------------------------------------------------------- search
+    def _segment_view(
+        self, seg_no: int, snapshot_tid: int, bitmap: Bitmap | None
+    ) -> tuple["SegmentSnapshot", dict[int, DeltaRecord], np.ndarray]:
+        """Resolve one segment's MVCC read view for a search.
+
+        Returns ``(snap, overlay_last, allowed)`` where ``overlay_last`` is
+        the last-writer-wins delta record per local offset in the overlay
+        window and ``allowed`` is the validity mask (present in the index
+        snapshot, passes the pre-filter, not superseded by a delta).  When
+        there is no overlay and no filter, ``allowed`` *wraps*
+        ``snap.present`` without copying (Sec. 5.1 reuse).
+        """
+        segment = self.segment(seg_no)
+        snap = segment.snapshot_for(snapshot_tid)
+        overlay = self.overlay_records(seg_no, snap.tid, snapshot_tid)
+        # Last-writer-wins per offset within the overlay window.
+        overlay_last: dict[int, DeltaRecord] = {}
+        for record in overlay:
+            overlay_last[record.vid % self.segment_size] = record
+
+        if bitmap is None:
+            allowed = snap.present  # wrap, don't copy (Sec. 5.1 reuse)
+        else:
+            allowed = bitmap.mask & snap.present
+        if overlay_last:
+            allowed = allowed.copy() if allowed is snap.present else allowed
+            for offset in overlay_last:
+                allowed[offset] = False
+        return snap, overlay_last, allowed
+
     def search_segment(
         self,
         seg_no: int,
@@ -195,26 +254,10 @@ class EmbeddingStore:
         fault_hook = self.fault_hook
         if fault_hook is not None:
             fault_hook(seg_no)  # may raise FaultInjectionError (chaos tests)
-        segment = self.segment(seg_no)
-        snap = segment.snapshot_for(snapshot_tid)
-        overlay = self.overlay_records(seg_no, snap.tid, snapshot_tid)
-        # Last-writer-wins per offset within the overlay window.
-        overlay_last: dict[int, DeltaRecord] = {}
-        for record in overlay:
-            overlay_last[record.vid % self.segment_size] = record
+        snap, overlay_last, allowed = self._segment_view(seg_no, snapshot_tid, bitmap)
 
         threshold = self.bf_threshold if bf_threshold is None else bf_threshold
         metric = self.embedding.metric
-
-        # Status mask: present in snapshot, not superseded by a delta.
-        if bitmap is None:
-            allowed = snap.present  # wrap, don't copy (Sec. 5.1 reuse)
-        else:
-            allowed = bitmap.mask & snap.present
-        if overlay_last:
-            allowed = allowed.copy() if allowed is snap.present else allowed
-            for offset in overlay_last:
-                allowed[offset] = False
         valid_count = int(np.count_nonzero(allowed))
 
         results: list[tuple[float, int]] = []
@@ -259,6 +302,81 @@ class EmbeddingStore:
             used_bruteforce=used_bruteforce,
         )
 
+    def search_segment_batch(
+        self,
+        seg_no: int,
+        queries: np.ndarray,
+        k: int,
+        snapshot_tid: int,
+    ) -> list[SegmentSearchOutput]:
+        """Fused multi-query top-k on one segment (serving micro-batch path).
+
+        All Q queries share a single pass over the segment's valid snapshot
+        vectors (one :func:`batch_distances_multi` matmul) plus one pass over
+        the delta overlay, instead of Q separate HNSW traversals.  Exact
+        brute force, so every per-query result is at least as good as the
+        per-query HNSW path.  Unfiltered only — the micro-batcher never
+        fuses filtered requests.
+        """
+        fault_hook = self.fault_hook
+        if fault_hook is not None:
+            fault_hook(seg_no)  # may raise FaultInjectionError (chaos tests)
+        queries = np.asarray(queries, dtype=np.float32)
+        metric = self.embedding.metric
+        snap, overlay_last, allowed = self._segment_view(seg_no, snapshot_tid, None)
+
+        dist_blocks: list[np.ndarray] = []
+        offset_blocks: list[np.ndarray] = []
+        offsets = np.flatnonzero(allowed)
+        if offsets.size:
+            dist_blocks.append(
+                batch_distances_multi(queries, snap.vectors[offsets], metric)
+            )
+            offset_blocks.append(offsets)
+        fresh_offsets = [
+            off for off, record in overlay_last.items() if record.action == UPSERT
+        ]
+        if fresh_offsets:
+            fresh_vectors = np.stack(
+                [overlay_last[off].vector for off in fresh_offsets]
+            ).astype(np.float32)
+            dist_blocks.append(batch_distances_multi(queries, fresh_vectors, metric))
+            offset_blocks.append(np.asarray(fresh_offsets, dtype=np.int64))
+
+        num_queries = queries.shape[0]
+        if not dist_blocks:
+            return [
+                SegmentSearchOutput(seg_no, offsets=[], distances=[], used_bruteforce=True)
+                for _ in range(num_queries)
+            ]
+
+        dists = dist_blocks[0] if len(dist_blocks) == 1 else np.concatenate(dist_blocks, axis=1)
+        cand_offsets = (
+            offset_blocks[0] if len(offset_blocks) == 1 else np.concatenate(offset_blocks)
+        )
+        top = min(k, cand_offsets.size)
+        outputs: list[SegmentSearchOutput] = []
+        for qi in range(num_queries):
+            row = dists[qi]
+            if top < cand_offsets.size:
+                part = np.argpartition(row, top - 1)[:top]
+            else:
+                part = np.arange(cand_offsets.size)
+            # Sort (distance, offset) pairs so ties break by offset exactly
+            # like the per-query path's ``results.sort()``.
+            pairs = sorted(
+                (float(row[i]), int(cand_offsets[i])) for i in part
+            )
+            outputs.append(
+                SegmentSearchOutput(
+                    seg_no,
+                    offsets=[o for _, o in pairs],
+                    distances=[d for d, _ in pairs],
+                    used_bruteforce=True,
+                )
+            )
+        return outputs
+
     # --------------------------------------------------------------- stats
     def stats(self) -> dict:
         segs = self.segments()
@@ -300,6 +418,26 @@ class EmbeddingService:
 
     def stores(self) -> Iterator[EmbeddingStore]:
         return iter(list(self._stores.values()))
+
+    def attach_store(self, vertex_type: str, attr: str, store: EmbeddingStore) -> None:
+        """Install a pre-built store (bench/recovery harness hook).
+
+        The store must match the schema's embedding metadata for
+        ``vertex_type.attr``; benchmarks use this to reuse an expensive
+        HNSW build across runs instead of re-ingesting vectors.
+        """
+        embedding = self.schema.vertex_type(vertex_type).embedding(attr)
+        if (
+            embedding.dimension != store.embedding.dimension
+            or embedding.metric != store.embedding.metric
+        ):
+            raise VectorSearchError(
+                f"attached store for {vertex_type}.{attr} has dim/metric "
+                f"({store.embedding.dimension}, {store.embedding.metric.value}) but the "
+                f"schema declares ({embedding.dimension}, {embedding.metric.value})"
+            )
+        with self._lock:
+            self._stores[(vertex_type, attr)] = store
 
     # ------------------------------------------------------------ the hook
     def on_commit(self, tid: int, embedding_ops: list[tuple]) -> None:

@@ -131,6 +131,43 @@ class SimulatedCrash(FaultInjectionError):
     """
 
 
+class IndexPersistenceError(ReproError):
+    """An index snapshot file is unreadable or incompatible.
+
+    Raised by :meth:`~repro.index.hnsw.HNSWIndex.load` when a saved index is
+    corrupt (truncated file, bad pickle), structurally inconsistent (vector
+    matrix disagreeing with the recorded count/dim), or written by a
+    different format version.  Loading refuses to guess: the caller should
+    rebuild the index from the segment's vectors instead.
+    """
+
+
+class ServeError(ReproError):
+    """Query-serving layer failure (``repro.serve``)."""
+
+
+class AdmissionRejectedError(ServeError):
+    """A request was shed by admission control before execution.
+
+    Raised at submit time when the server's bounded queue is already at
+    ``max_queue_depth`` (``reason='queue_full'``), when the tenant's token
+    bucket is empty (:class:`RateLimitedError`), or when the server is
+    shutting down (``reason='shutdown'``).  Shedding at the door keeps queue
+    wait bounded under overload instead of letting every request time out.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class RateLimitedError(AdmissionRejectedError):
+    """A tenant exceeded its token-bucket rate limit."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="rate_limited")
+
+
 class WALCorruptionError(ReproError):
     """The write-ahead log contains a corrupt record that is not a torn tail.
 

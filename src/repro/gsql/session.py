@@ -80,12 +80,25 @@ class GSQLSession:
         self.default_ef: int | None = None
 
     # ------------------------------------------------------------ frontends
-    def run(self, text: str, **params) -> QueryResult:
+    def run(self, text: str, readonly: bool = False, **params) -> QueryResult:
+        """Compile and execute GSQL source.
+
+        ``readonly=True`` (the serving layer's mode for tenants without
+        write access) rejects everything except SELECT blocks with a
+        semantic error before any statement executes.
+        """
         tel = get_telemetry()
         result = QueryResult()
         with tel.span("gsql.query", record="gsql.query_seconds") as qspan:
             with tel.span("gsql.parse", record="gsql.parse_seconds"):
                 nodes = parse(text)
+            if readonly:
+                for node in nodes:
+                    if not isinstance(node, ast.SelectBlock):
+                        raise GSQLSemanticError(
+                            f"{type(node).__name__} is not allowed in a "
+                            f"read-only session"
+                        )
             with tel.span("gsql.execute", record="gsql.execute_seconds"):
                 for node in nodes:
                     self._execute_node(node, result, params)

@@ -36,12 +36,17 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import VectorSearchError
+from ..errors import IndexPersistenceError, VectorSearchError
 from ..telemetry import get_telemetry
 from ..types import Metric
 from .interface import IndexStats, SearchResult, VectorIndex
 
-__all__ = ["HNSWIndex"]
+__all__ = ["FORMAT_VERSION", "HNSWIndex"]
+
+#: On-disk snapshot format version.  Bump whenever the ``save()`` payload
+#: layout changes; ``load()`` refuses other versions with
+#: :class:`~repro.errors.IndexPersistenceError` rather than guessing.
+FORMAT_VERSION = 1
 
 
 class HNSWIndex(VectorIndex):
@@ -518,6 +523,7 @@ class HNSWIndex(VectorIndex):
         """Persist the index snapshot (vectors + graph) to one file."""
         path = Path(path)
         payload = {
+            "format_version": FORMAT_VERSION,
             "dim": self.dim,
             "metric": self.metric.value,
             "M": self.M,
@@ -540,16 +546,89 @@ class HNSWIndex(VectorIndex):
 
     @classmethod
     def load(cls, path) -> "HNSWIndex":
-        with open(path, "rb") as fh:
-            payload = pickle.load(fh)
+        """Load a saved index, validating format and structure.
+
+        A corrupt, truncated, or incompatible file raises
+        :class:`~repro.errors.IndexPersistenceError` (never a raw pickle /
+        key / attribute error); the caller should rebuild from the
+        segment's vectors instead of trusting the snapshot.
+        """
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except OSError:
+            raise
+        except Exception as exc:  # pickle raises many unrelated types
+            raise IndexPersistenceError(
+                f"cannot read index snapshot '{path}': {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise IndexPersistenceError(
+                f"index snapshot '{path}' is not a payload dict "
+                f"(got {type(payload).__name__})"
+            )
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise IndexPersistenceError(
+                f"index snapshot '{path}' has format version {version!r}, "
+                f"this build reads version {FORMAT_VERSION}; rebuild the "
+                f"index (vacuum index_merge) instead of loading it"
+            )
+        required = (
+            "dim", "metric", "M", "ef_construction", "count", "vectors",
+            "ids", "levels", "links0", "links0_cnt", "links_upper",
+            "deleted", "entry_point", "max_level",
+        )
+        missing = [key for key in required if key not in payload]
+        if missing:
+            raise IndexPersistenceError(
+                f"index snapshot '{path}' is missing fields: {', '.join(missing)}"
+            )
+        try:
+            metric = Metric(payload["metric"])
+        except ValueError as exc:
+            raise IndexPersistenceError(
+                f"index snapshot '{path}' has unknown metric "
+                f"{payload['metric']!r}"
+            ) from exc
+        dim = int(payload["dim"])
+        count = int(payload["count"])
+        if dim <= 0 or count < 0:
+            raise IndexPersistenceError(
+                f"index snapshot '{path}' has invalid dim/count ({dim}, {count})"
+            )
+        vectors = np.asarray(payload["vectors"])
+        if vectors.shape != (count, dim):
+            raise IndexPersistenceError(
+                f"index snapshot '{path}': vector matrix shape "
+                f"{vectors.shape} disagrees with recorded (count, dim) "
+                f"({count}, {dim})"
+            )
+        for name in ("ids", "links0", "links0_cnt", "deleted"):
+            rows = np.asarray(payload[name]).shape[0]
+            if rows != count:
+                raise IndexPersistenceError(
+                    f"index snapshot '{path}': '{name}' has {rows} rows, "
+                    f"expected {count}"
+                )
+        if len(payload["levels"]) != count:
+            raise IndexPersistenceError(
+                f"index snapshot '{path}': 'levels' has "
+                f"{len(payload['levels'])} entries, expected {count}"
+            )
+        entry_point = payload["entry_point"]
+        if entry_point is not None and not 0 <= int(entry_point) < max(count, 1):
+            raise IndexPersistenceError(
+                f"index snapshot '{path}': entry point {entry_point} is out "
+                f"of range for {count} vectors"
+            )
         index = cls(
-            dim=payload["dim"],
-            metric=Metric(payload["metric"]),
+            dim=dim,
+            metric=metric,
             M=payload["M"],
             ef_construction=payload["ef_construction"],
             prune_heuristic=payload.get("prune_heuristic", True),
         )
-        count = payload["count"]
         index._grow(max(count, 1))
         index._count = count
         index._vectors[:count] = payload["vectors"]

@@ -1,0 +1,38 @@
+"""repro.serve — the concurrent multi-tenant query-serving layer.
+
+Turns the single-caller engine into a traffic-facing server (the paper's
+Sec. 6.3 throughput setting, plus the production-RAG gaps — freshness,
+multi-tenancy, QoS — called out by the unified-data-layer paper in
+PAPERS.md):
+
+- :class:`QueryServer` — a worker thread pool executing ``VectorSearch()``
+  and GSQL statements against live MVCC snapshots;
+- :class:`MicroBatcher` — coalesces concurrent same-attribute top-k
+  requests within a small time/size window into one fused multi-query
+  segment scan (:func:`repro.core.search.vector_search_batch`);
+- :class:`ResultCache` — an LRU, byte-bounded result cache keyed by the
+  MVCC watermark of every touched store, so commits and vacuum merges
+  invalidate stale entries by construction;
+- :class:`AdmissionController` / :class:`TokenBucket` /
+  :class:`WeightedFairQueue` — bounded queues with deadline-aware
+  shedding, per-tenant rate limits, and weighted-fair scheduling.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .batcher import MicroBatcher
+from .cache import ResultCache
+from .server import QueryServer, ServeConfig, ServeFuture
+from .tenancy import Tenant, TenantRegistry, WeightedFairQueue
+
+__all__ = [
+    "AdmissionController",
+    "MicroBatcher",
+    "QueryServer",
+    "ResultCache",
+    "ServeConfig",
+    "ServeFuture",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "WeightedFairQueue",
+]

@@ -1,0 +1,92 @@
+"""Admission control: bounded queues and per-tenant token buckets.
+
+Overload policy is *shed at the door*: a request that cannot be queued
+within bounds, or whose tenant is over its rate limit, fails the submit
+call immediately with a typed error instead of joining an ever-growing
+queue.  Combined with the dispatcher's deadline check this keeps tail
+latency bounded under open-loop overload — requests are either answered,
+shed (:class:`~repro.errors.AdmissionRejectedError` /
+:class:`~repro.errors.RateLimitedError`), or deadline-failed
+(:class:`~repro.errors.QueryTimeoutError`); never silently dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import AdmissionRejectedError, RateLimitedError, ServeError
+from .tenancy import Tenant, TenantRegistry
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """Deterministic token bucket on an injectable monotonic clock.
+
+    ``rate`` tokens/second refill up to ``burst`` capacity; each admit
+    costs one token.  The caller supplies ``now`` so tests can drive the
+    bucket without sleeping.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None):
+        if rate <= 0:
+            raise ServeError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ServeError("token bucket burst must allow at least one request")
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._stamp: float | None = None
+
+    def try_acquire(self, now: float) -> bool:
+        with self._lock:
+            if self._stamp is not None and now > self._stamp:
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._stamp) * self.rate
+                )
+            self._stamp = now if self._stamp is None else max(self._stamp, now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+class AdmissionController:
+    """Gate every submit: bounded queue depth, then the tenant's bucket."""
+
+    def __init__(self, registry: TenantRegistry, max_queue_depth: int):
+        if max_queue_depth < 1:
+            raise ServeError("max_queue_depth must be at least 1")
+        self.registry = registry
+        self.max_queue_depth = int(max_queue_depth)
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket_for(self, tenant: Tenant) -> TokenBucket | None:
+        if tenant.rate_limit is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant.name)
+            if bucket is None:
+                bucket = TokenBucket(tenant.rate_limit, tenant.burst)
+                self._buckets[tenant.name] = bucket
+            return bucket
+
+    def admit(self, tenant: Tenant, queue_depth: int, now: float) -> None:
+        """Raise a typed shed error unless the request may be queued.
+
+        The tenant's bucket is checked first so an over-limit tenant sees
+        :class:`RateLimitedError` (its own fault) rather than the global
+        queue-full rejection.
+        """
+        bucket = self.bucket_for(tenant)
+        if bucket is not None and not bucket.try_acquire(now):
+            raise RateLimitedError(
+                f"tenant '{tenant.name}' is over its rate limit "
+                f"({tenant.rate_limit:g} requests/s)"
+            )
+        if queue_depth >= self.max_queue_depth:
+            raise AdmissionRejectedError(
+                f"serve queue full ({queue_depth}/{self.max_queue_depth})"
+            )

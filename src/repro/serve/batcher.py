@@ -1,0 +1,63 @@
+"""Dynamic micro-batching: coalesce compatible requests into one scan.
+
+After a worker dequeues a batchable request (the *leader*), it keeps
+draining queue fronts with the same batch key — identical attribute set,
+k, and ef; no filter; full-access tenant — until the batch is full or the
+collection window closes.  The window only costs latency when there is
+something to wait for: an already-full queue batches instantly, and a lone
+request on an idle server waits at most ``window_seconds``.
+
+The fused batch then runs through
+:func:`repro.core.search.vector_search_batch`, which scans each segment
+once for all queries (exact brute force, so recall never drops below the
+per-query HNSW path); batches below the server's ``min_fused`` execute
+per-query anyway.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .tenancy import WeightedFairQueue
+
+__all__ = ["MicroBatcher"]
+
+#: Upper bound on one condition-wait inside the window, so a stream of
+#: non-matching arrivals cannot pin the worker past the deadline.
+_MAX_WAIT_SLICE = 0.0005
+
+
+class MicroBatcher:
+    """Collect same-key requests from the queue within a time/size window."""
+
+    def __init__(
+        self,
+        queue: WeightedFairQueue,
+        window_seconds: float = 0.002,
+        max_batch: int = 32,
+    ):
+        self.queue = queue
+        self.window_seconds = float(window_seconds)
+        self.max_batch = int(max_batch)
+
+    def collect(self, leader) -> list:
+        """The leader plus any compatible requests arriving in the window."""
+        batch = [leader]
+        key = leader.batch_key()
+        if key is None or self.max_batch <= 1:
+            return batch
+        deadline = time.monotonic() + self.window_seconds
+        while len(batch) < self.max_batch:
+            matched = self.queue.drain_matching(
+                lambda request: request.batch_key() == key,
+                self.max_batch - len(batch),
+            )
+            batch.extend(matched)
+            if len(batch) >= self.max_batch:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            if not matched:
+                self.queue.wait_for_item(min(remaining, _MAX_WAIT_SLICE))
+        return batch

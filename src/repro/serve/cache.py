@@ -1,0 +1,126 @@
+"""Snapshot-keyed LRU result cache.
+
+Keys embed the MVCC watermark (:meth:`EmbeddingStore.watermark`) of every
+store the query touches, read *before* the executing snapshot is taken.
+Any commit, delta merge, or index merge on a touched store perturbs its
+watermark, so stale entries become unreachable rather than needing
+explicit invalidation.  The watermark-before-snapshot ordering makes the
+one race benign: a commit slipping between the watermark read and the
+snapshot can only make an entry *fresher* than its key, and that same
+commit's watermark bump guarantees no later lookup ever matches the key.
+
+Values are the sorted ``(distance, vertex_type, vid)`` triples from
+:func:`repro.core.search.vector_search_merged` — immutable, and carrying
+the distances needed to re-fill a caller's distance map on a hit.
+
+The cache is a lock leaf: methods never call into the engine or telemetry
+while holding the lock; :meth:`put` returns the eviction count so the
+caller can record metrics outside it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ServeError
+
+__all__ = ["ResultCache"]
+
+# Rough per-entry accounting: a (dist, vtype, vid) triple plus dict/key
+# overhead.  Exactness doesn't matter — the bound just has to scale with
+# actual retained data.
+_TRIPLE_BYTES = 64
+_ENTRY_OVERHEAD = 256
+
+
+class ResultCache:
+    """LRU cache of top-k triples, bounded by bytes and entry count."""
+
+    def __init__(self, max_bytes: int = 32 << 20, max_entries: int = 1024):
+        if max_bytes < 1 or max_entries < 1:
+            raise ServeError("cache bounds must be positive")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @staticmethod
+    def key(
+        vector_attributes: Iterable[str],
+        query_vector: np.ndarray,
+        k: int,
+        ef: int | None,
+        watermarks: Iterable[tuple],
+    ) -> tuple:
+        """Build a cache key; ``watermarks`` must cover every touched store."""
+        query = np.asarray(query_vector, dtype=np.float32)
+        return (
+            tuple(vector_attributes),
+            int(k),
+            ef,
+            query.tobytes(),
+            tuple(watermarks),
+        )
+
+    @staticmethod
+    def _estimate(key: tuple, value: tuple) -> int:
+        return len(key[3]) + _TRIPLE_BYTES * len(value) + _ENTRY_OVERHEAD
+
+    def get(self, key: tuple):
+        """The cached triples, or ``None``; records hit/miss internally."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: tuple, value: tuple) -> int:
+        """Insert (or refresh) an entry; returns how many LRU evictions ran."""
+        nbytes = self._estimate(key, value)
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            while self._entries and (
+                self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+            ):
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                evicted += 1
+            self._evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_ratio": (self._hits / lookups) if lookups else 0.0,
+            }

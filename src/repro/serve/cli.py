@@ -1,0 +1,121 @@
+"""The ``repro-serve`` CLI: a self-contained serving demo.
+
+Builds a seeded in-memory graph with one embedding attribute, starts a
+:class:`QueryServer`, drives it from concurrent client threads, and prints
+throughput plus the serve metrics snapshot.  Useful as a quickstart and as
+a smoke check that batching/caching/admission behave on a given machine::
+
+    repro-serve --vectors 2000 --dim 32 --queries 400 --concurrency 8
+    repro-serve --no-batching --no-cache     # per-query baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+from ..core.database import TigerVectorDB
+from ..graph.schema import Attribute
+from ..telemetry import Telemetry, use_telemetry
+from ..types import AttrType, Metric
+from .server import QueryServer, ServeConfig
+
+__all__ = ["main"]
+
+
+def build_demo_db(num_vectors: int, dim: int, seed: int, segment_size: int) -> TigerVectorDB:
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((num_vectors, dim)).astype(np.float32)
+    db = TigerVectorDB(segment_size=segment_size)
+    db.schema.create_vertex_type(
+        "Item", [Attribute("id", AttrType.INT, primary_key=True)]
+    )
+    db.schema.add_embedding_attribute(
+        "Item", "emb", dimension=dim, model="demo", metric=Metric.L2
+    )
+    db.bulk_load_vertices("Item", [{"id": i} for i in range(num_vectors)])
+    db.bulk_load_embeddings(
+        "Item", "emb", list(range(num_vectors)), vectors, num_threads=2
+    )
+    return db
+
+
+def run_demo(args) -> int:
+    db = build_demo_db(args.vectors, args.dim, args.seed, args.segment_size)
+    rng = np.random.default_rng(args.seed + 1)
+    queries = rng.standard_normal((args.queries, args.dim)).astype(np.float32)
+    config = ServeConfig(
+        workers=args.workers,
+        enable_batching=not args.no_batching,
+        enable_cache=not args.no_cache,
+    )
+    telemetry = Telemetry()
+    latencies: list[float] = []
+    lat_lock = threading.Lock()
+
+    def client(worker_id: int) -> None:
+        for qi in range(worker_id, len(queries), args.concurrency):
+            start = time.perf_counter()
+            server.search(["Item.emb"], queries[qi], args.k)
+            elapsed = time.perf_counter() - start
+            with lat_lock:
+                latencies.append(elapsed)
+
+    with use_telemetry(telemetry), db, QueryServer(db, config) as server:
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(args.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        stats = server.stats()
+
+    lat = sorted(latencies)
+    p50 = lat[len(lat) // 2]
+    p95 = lat[min(len(lat) - 1, int(len(lat) * 0.95))]
+    print(
+        f"served {len(lat)} queries in {wall:.3f}s  "
+        f"({len(lat) / wall:,.0f} QPS, concurrency {args.concurrency})"
+    )
+    print(f"latency p50 {p50 * 1e3:.2f}ms  p95 {p95 * 1e3:.2f}ms")
+    counters = telemetry.registry.snapshot()["counters"]
+    for name in sorted(counters):
+        if name.startswith("serve."):
+            print(f"  {name} = {counters[name]}")
+    if stats["cache"] is not None:
+        cache = stats["cache"]
+        print(
+            f"  cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit ratio {cache['hit_ratio']:.1%}, {cache['entries']} entries)"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description="concurrent query-serving demo"
+    )
+    parser.add_argument("--vectors", type=int, default=2000)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--segment-size", type=int, default=1024)
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-batching", action="store_true")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    return run_demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,579 @@
+"""The concurrent multi-tenant query server.
+
+Request lifecycle::
+
+    submit -> admission (bounded queue, token bucket)      [typed shed]
+           -> weighted-fair queue                           [per-tenant]
+           -> worker dequeue -> deadline check              [typed timeout]
+           -> micro-batch collection (batcher.py)
+           -> result cache lookup (cache.py, MVCC-watermark keys)
+           -> fused batch scan or per-query VectorSearch on one snapshot
+           -> future completion + telemetry
+
+Correctness contracts:
+
+- **Byte identity**: with batching and caching disabled, every answer is
+  produced by the same ``vector_search_merged`` + ``build_topk_vertex_set``
+  pipeline (same snapshot semantics, same tie-breaking, same distance-map
+  fills) as a direct :meth:`TigerVectorDB.vector_search` call; GSQL goes
+  through the same :meth:`GSQLSession.run`.
+- **Never hangs, never drops**: every accepted request's future is
+  completed — with a result, or with a typed :class:`ReproError`
+  (``QueryTimeoutError`` for deadline misses, ``AdmissionRejectedError``
+  with ``reason='shutdown'`` for requests drained at stop).
+- **Freshness**: cache keys embed store watermarks read *before* the
+  executing snapshot (see cache.py for why that ordering is the safe one).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.search import (
+    VectorSearchOptions,
+    build_topk_vertex_set,
+    vector_search_batch,
+    vector_search_merged,
+)
+from ..errors import (
+    AdmissionRejectedError,
+    FaultInjectionError,
+    QueryTimeoutError,
+    RateLimitedError,
+    ReproError,
+    ServeError,
+)
+from ..faults import ResiliencePolicy
+from ..telemetry import get_telemetry
+from .admission import AdmissionController
+from .batcher import MicroBatcher
+from .cache import ResultCache
+from .tenancy import Tenant, TenantRegistry, WeightedFairQueue
+
+__all__ = ["QueryServer", "ServeConfig", "ServeFuture"]
+
+
+@dataclass
+class ServeConfig:
+    """Serving knobs; defaults favor correctness-visible small deployments."""
+
+    workers: int = 4
+    max_queue_depth: int = 256
+    enable_batching: bool = True
+    batch_window_seconds: float = 0.002
+    max_batch: int = 32
+    min_fused: int = 4  # below this, a batch falls back to per-query HNSW
+    enable_cache: bool = True
+    cache_max_bytes: int = 32 << 20
+    cache_max_entries: int = 1024
+    #: Per-request deadline (seconds from submit).  None defers to the
+    #: resilience policy's deadline; both None means no deadline.
+    default_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServeError("workers must be at least 1")
+        if self.max_batch < 1:
+            raise ServeError("max_batch must be at least 1")
+        if self.batch_window_seconds < 0:
+            raise ServeError("batch_window_seconds must be non-negative")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ServeError("default_timeout must be positive")
+
+
+class ServeFuture:
+    """Completion handle for one submitted request."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise ServeError("timed out waiting for the serve result")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise ServeError("timed out waiting for the serve result")
+        return self._error
+
+    def _complete(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class QueryRequest:
+    """Internal queue entry; one per submitted request."""
+
+    kind: str  # "vector" | "gsql"
+    tenant: Tenant
+    future: ServeFuture
+    submitted_at: float
+    deadline: float | None
+    vector_attributes: tuple[str, ...] = ()
+    query: np.ndarray | None = None
+    k: int = 0
+    ef: int | None = None
+    filter: object | None = None
+    distance_map: object | None = None
+    text: str = ""
+    params: dict = field(default_factory=dict)
+    no_cache: bool = False
+
+    def batch_key(self) -> tuple | None:
+        """Fusion compatibility key; None means unbatchable.
+
+        Filtered searches and tenants with restricted roles execute
+        per-request (their validity masks differ per caller), so only
+        plain full-access top-k requests fuse — exactly the shape the
+        fused kernel supports.
+        """
+        if (
+            self.kind != "vector"
+            or self.filter is not None
+            or self.tenant.role != "admin"
+        ):
+            return None
+        return (self.vector_attributes, self.k, self.ef)
+
+    @property
+    def cacheable(self) -> bool:
+        return self.batch_key() is not None and not self.no_cache
+
+
+class QueryServer:
+    """Worker pool serving vector and GSQL requests from a fair queue."""
+
+    def __init__(
+        self,
+        db,
+        config: ServeConfig | None = None,
+        tenants=None,
+        policy: ResiliencePolicy | None = None,
+    ):
+        self.db = db
+        self.config = config or ServeConfig()
+        self.registry = TenantRegistry(tenants)
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.queue = WeightedFairQueue(self.registry)
+        self.admission = AdmissionController(self.registry, self.config.max_queue_depth)
+        self.batcher = (
+            MicroBatcher(
+                self.queue, self.config.batch_window_seconds, self.config.max_batch
+            )
+            if self.config.enable_batching
+            else None
+        )
+        self.cache = (
+            ResultCache(self.config.cache_max_bytes, self.config.cache_max_entries)
+            if self.config.enable_cache
+            else None
+        )
+        self._lifecycle_lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "QueryServer":
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            if self._stopped:
+                raise ServeError("QueryServer cannot be restarted after stop()")
+            self._running = True
+            for i in range(self.config.workers):
+                worker = threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+                )
+                self._workers.append(worker)
+                worker.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lifecycle_lock:
+            if self._stopped:
+                return
+            self._running = False
+            self._stopped = True
+            workers = list(self._workers)
+            self._workers.clear()
+        leftovers = self.queue.close()
+        for request in leftovers:
+            request.future._fail(
+                AdmissionRejectedError(
+                    "server shut down before the request ran", reason="shutdown"
+                )
+            )
+        for worker in workers:
+            worker.join()
+
+    @property
+    def running(self) -> bool:
+        with self._lifecycle_lock:
+            return self._running
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- submit
+    def _effective_deadline(self, submitted_at: float, timeout: float | None):
+        if timeout is None:
+            timeout = self.config.default_timeout
+        if timeout is None:
+            timeout = self.policy.deadline
+        return None if timeout is None else submitted_at + timeout
+
+    def _submit(self, request: QueryRequest) -> ServeFuture:
+        tel = get_telemetry()
+        tel.inc("serve.requests")
+        if not self.running:
+            raise ServeError("QueryServer is not running; call start() first")
+        try:
+            self.admission.admit(
+                request.tenant, self.queue.depth(), request.submitted_at
+            )
+        except RateLimitedError:
+            tel.inc("serve.shed")
+            tel.inc("serve.shed_rate_limited")
+            raise
+        except AdmissionRejectedError:
+            tel.inc("serve.shed")
+            tel.inc("serve.shed_queue_full")
+            raise
+        depth = self.queue.put(request, request.tenant.name)
+        tel.set_gauge("serve.queue_depth", depth)
+        return request.future
+
+    def submit_search(
+        self,
+        vector_attributes,
+        query_vector,
+        k: int,
+        *,
+        tenant: str = "default",
+        ef: int | None = None,
+        filter=None,
+        distance_map=None,
+        timeout: float | None = None,
+        no_cache: bool = False,
+    ) -> ServeFuture:
+        """Queue a VectorSearch; returns a future (may raise a shed error)."""
+        tenant_obj = self.registry.get(tenant)
+        submitted_at = time.monotonic()
+        request = QueryRequest(
+            kind="vector",
+            tenant=tenant_obj,
+            future=ServeFuture(),
+            submitted_at=submitted_at,
+            deadline=self._effective_deadline(submitted_at, timeout),
+            vector_attributes=tuple(vector_attributes),
+            query=np.asarray(query_vector, dtype=np.float32).reshape(-1),
+            k=int(k),
+            ef=ef,
+            filter=filter,
+            distance_map=distance_map,
+            no_cache=no_cache,
+        )
+        return self._submit(request)
+
+    def submit_gsql(
+        self,
+        text: str,
+        *,
+        tenant: str = "default",
+        timeout: float | None = None,
+        params: dict | None = None,
+    ) -> ServeFuture:
+        """Queue a GSQL statement; read-only enforced per tenant."""
+        tenant_obj = self.registry.get(tenant)
+        submitted_at = time.monotonic()
+        request = QueryRequest(
+            kind="gsql",
+            tenant=tenant_obj,
+            future=ServeFuture(),
+            submitted_at=submitted_at,
+            deadline=self._effective_deadline(submitted_at, timeout),
+            text=text,
+            params=dict(params or {}),
+        )
+        return self._submit(request)
+
+    def search(self, vector_attributes, query_vector, k: int, **kwargs):
+        """Synchronous VectorSearch through the full serving pipeline."""
+        return self.submit_search(vector_attributes, query_vector, k, **kwargs).result()
+
+    def run_gsql(self, text: str, **kwargs):
+        """Synchronous GSQL execution through the serving pipeline."""
+        return self.submit_gsql(text, **kwargs).result()
+
+    # -------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        tel = get_telemetry()
+        while True:
+            request = self.queue.take(timeout=0.1)
+            if request is None:
+                if self.queue.closed:
+                    return
+                continue
+            if self.batcher is not None:
+                batch = self.batcher.collect(request)
+            else:
+                batch = [request]
+            tel.inc("serve.batches")
+            tel.observe("serve.batch_size", len(batch))
+            self._execute_batch(batch)
+
+    def _finish(self, request: QueryRequest, value=None, error=None) -> None:
+        if error is not None:
+            request.future._fail(error)
+        else:
+            request.future._complete(value)
+        tel = get_telemetry()
+        tel.inc("serve.completed")
+        tel.observe(
+            "serve.latency_seconds", time.monotonic() - request.submitted_at
+        )
+
+    def _execute_batch(self, batch: list) -> None:
+        try:
+            live = self._shed_expired(batch)
+            if not live:
+                return
+            if live[0].kind == "gsql":
+                for request in live:
+                    self._execute_gsql(request)
+            else:
+                self._execute_vector(live)
+        except Exception as exc:
+            # Defensive: an unexpected error must never strand a future
+            # (acceptance: the server never hangs and never drops).
+            for request in batch:
+                if not request.future.done():
+                    self._finish(request, error=exc)
+
+    def _shed_expired(self, batch: list) -> list:
+        """Deadline-aware shedding at dequeue: expired requests fail typed."""
+        tel = get_telemetry()
+        now = time.monotonic()
+        live = []
+        for request in batch:
+            tel.observe("serve.queue_wait_seconds", now - request.submitted_at)
+            if request.deadline is not None and now > request.deadline:
+                tel.inc("serve.deadline_timeouts")
+                elapsed = now - request.submitted_at
+                self._finish(
+                    request,
+                    error=QueryTimeoutError(
+                        f"request waited {elapsed:.3f}s in the serve queue, "
+                        f"past its deadline",
+                        deadline=request.deadline - request.submitted_at,
+                        elapsed=elapsed,
+                    ),
+                )
+            else:
+                live.append(request)
+        return live
+
+    def _with_retries(self, fn):
+        """Resilience dispatch: retry injected faults with policy backoff."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except FaultInjectionError:
+                attempt += 1
+                if attempt >= self.policy.max_attempts:
+                    raise
+                get_telemetry().inc("resilience.retries")
+                delay = self.policy.backoff(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
+
+    # ----------------------------------------------------------------- GSQL
+    def _execute_gsql(self, request: QueryRequest) -> None:
+        try:
+            result = self._with_retries(
+                lambda: self.db.gsql.run(
+                    request.text,
+                    readonly=not request.tenant.allow_writes,
+                    **request.params,
+                )
+            )
+        except ReproError as exc:
+            self._finish(request, error=exc)
+            return
+        self._finish(request, value=result)
+
+    # --------------------------------------------------------------- vector
+    def _watermarks(self, vector_attributes: tuple[str, ...]) -> tuple:
+        schema = self.db.schema
+        marks = []
+        for qualified in vector_attributes:
+            vertex_type, _ = schema.embedding_attribute(qualified)
+            store = self.db.service.store(
+                vertex_type, qualified.split(".", 1)[1]
+            )
+            marks.append(store.watermark())
+        return tuple(marks)
+
+    def _execute_vector(self, batch: list) -> None:
+        tel = get_telemetry()
+        cache = self.cache
+        watermarks = None
+        if cache is not None and any(r.cacheable for r in batch):
+            # All cacheable members of one batch share a batch key, hence
+            # the same attribute set and the same watermark tuple.  Read
+            # watermarks BEFORE taking the snapshot (see cache.py).
+            try:
+                watermarks = self._watermarks(batch[0].vector_attributes)
+            except ReproError as exc:
+                for request in batch:
+                    self._finish(request, error=exc)
+                return
+
+        pending: list[tuple[QueryRequest, tuple | None]] = []
+        for request in batch:
+            if watermarks is not None and request.cacheable:
+                key = ResultCache.key(
+                    request.vector_attributes,
+                    request.query,
+                    request.k,
+                    request.ef,
+                    watermarks,
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    tel.inc("serve.cache_hits")
+                    self._finish(
+                        request,
+                        value=build_topk_vertex_set(
+                            list(hit), request.distance_map
+                        ),
+                    )
+                    continue
+                tel.inc("serve.cache_misses")
+                pending.append((request, key))
+            else:
+                pending.append((request, None))
+        if not pending:
+            return
+
+        with self.db.snapshot() as snapshot:
+            fusable = [item for item in pending if item[0].batch_key() is not None]
+            singles = [item for item in pending if item[0].batch_key() is None]
+            if (
+                self.batcher is not None
+                and len(fusable) >= max(2, self.config.min_fused)
+            ):
+                self._execute_fused(fusable, snapshot)
+            else:
+                singles = fusable + singles
+            for request, key in singles:
+                self._execute_single(request, key, snapshot)
+
+    def _execute_fused(self, fusable: list, snapshot) -> None:
+        tel = get_telemetry()
+        requests = [request for request, _ in fusable]
+        leader = requests[0]
+        queries = np.stack([request.query for request in requests])
+        try:
+            tops = self._with_retries(
+                lambda: vector_search_batch(
+                    self.db.service,
+                    snapshot,
+                    list(leader.vector_attributes),
+                    queries,
+                    leader.k,
+                    ef=leader.ef,
+                    min_fused=2,  # the batcher already decided to fuse
+                )
+            )
+        except ReproError as exc:
+            for request in requests:
+                self._finish(request, error=exc)
+            return
+        tel.inc("serve.fused_queries", len(requests))
+        evictions = 0
+        for (request, key), top in zip(fusable, tops):
+            if key is not None and self.cache is not None:
+                evictions += self.cache.put(key, tuple(top))
+            self._finish(
+                request, value=build_topk_vertex_set(top, request.distance_map)
+            )
+        if evictions:
+            tel.inc("serve.cache_evictions", evictions)
+
+    def _execute_single(self, request: QueryRequest, key, snapshot) -> None:
+        tel = get_telemetry()
+        try:
+            if request.tenant.role != "admin":
+                # Tenant-scoped view: route through RBAC-filtered search.
+                # It pins its own snapshot and is never cached or fused.
+                value = self._with_retries(
+                    lambda: self.db.access.authorized_search(
+                        request.tenant.role,
+                        list(request.vector_attributes),
+                        request.query,
+                        request.k,
+                        filter=request.filter,
+                        ef=request.ef,
+                    )
+                )
+                self._finish(request, value=value)
+                return
+            options = VectorSearchOptions(
+                filter=request.filter, distance_map=None, ef=request.ef
+            )
+            top = self._with_retries(
+                lambda: vector_search_merged(
+                    self.db.service,
+                    snapshot,
+                    list(request.vector_attributes),
+                    request.query,
+                    request.k,
+                    options,
+                )
+            )
+        except ReproError as exc:
+            self._finish(request, error=exc)
+            return
+        if key is not None and self.cache is not None:
+            evicted = self.cache.put(key, tuple(top))
+            if evicted:
+                tel.inc("serve.cache_evictions", evicted)
+        self._finish(
+            request, value=build_topk_vertex_set(top, request.distance_map)
+        )
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        return {
+            "running": self.running,
+            "workers": self.config.workers,
+            "queue_depth": self.queue.depth(),
+            "tenants": sorted(self.registry.names()),
+            "batching": self.batcher is not None,
+            "cache": None if self.cache is None else self.cache.stats(),
+        }

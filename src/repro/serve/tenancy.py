@@ -1,0 +1,193 @@
+"""Tenants, the tenant registry, and the weighted-fair request queue.
+
+A tenant bundles the per-client QoS knobs: a scheduling ``weight`` (share
+of worker capacity under contention), an optional token-bucket rate limit,
+an RBAC ``role`` from :mod:`repro.core.auth` (non-admin tenants are routed
+through ``AccessController.authorized_search``), and an ``allow_writes``
+flag enforced on the GSQL path.
+
+Scheduling is stride-based weighted fair queueing: each tenant carries a
+virtual *pass*; the dispatcher always pops from the non-empty tenant with
+the smallest pass and advances it by ``1 / weight``, so a weight-3 tenant
+drains three requests for every one of a weight-1 tenant while neither
+starves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..errors import AdmissionRejectedError, ServeError
+
+__all__ = ["Tenant", "TenantRegistry", "WeightedFairQueue"]
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One client of the query server and its QoS contract."""
+
+    name: str
+    weight: float = 1.0
+    role: str = "admin"
+    rate_limit: float | None = None  # sustained requests/second; None = unlimited
+    burst: float | None = None  # token-bucket capacity; default max(1, rate_limit)
+    allow_writes: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServeError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ServeError(f"tenant '{self.name}': weight must be positive")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ServeError(f"tenant '{self.name}': rate_limit must be positive")
+
+
+class TenantRegistry:
+    """Named tenants known to one server; always contains ``default``."""
+
+    def __init__(self, tenants: Iterable[Tenant] | None = None):
+        self._tenants: dict[str, Tenant] = {}
+        for tenant in tenants or ():
+            self._tenants[tenant.name] = tenant
+        if "default" not in self._tenants:
+            self._tenants["default"] = Tenant("default")
+
+    def register(self, tenant: Tenant) -> Tenant:
+        self._tenants[tenant.name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise ServeError(f"unknown tenant '{name}'")
+        return tenant
+
+    def names(self) -> list[str]:
+        return list(self._tenants)
+
+
+class WeightedFairQueue:
+    """Bounded-latency fair scheduler over per-tenant FIFO queues.
+
+    Thread-safe; every structural mutation happens under one condition
+    variable, which is also the wakeup channel for blocked workers.  The
+    queue is *leaf-like* by design: no method calls back into the engine
+    while holding the condition.
+    """
+
+    def __init__(self, registry: TenantRegistry):
+        self._registry = registry
+        self._cond = threading.Condition(threading.Lock())
+        self._queues: dict[str, deque] = {}
+        self._passes: dict[str, float] = {}
+        self._vtime = 0.0
+        self._size = 0
+        self._closed = False
+
+    # ------------------------------------------------------------- producers
+    def put(self, item, tenant_name: str) -> int:
+        """Enqueue for ``tenant_name``; returns the new total depth."""
+        weight = self._registry.get(tenant_name).weight  # raises on unknown
+        del weight
+        with self._cond:
+            if self._closed:
+                raise AdmissionRejectedError(
+                    "server is shutting down", reason="shutdown"
+                )
+            queue = self._queues.get(tenant_name)
+            if queue is None:
+                queue = self._queues[tenant_name] = deque()
+            if not queue:
+                # Stride activation: a long-idle tenant resumes at the
+                # current virtual time instead of monopolizing the workers
+                # with its stale (tiny) pass.
+                self._passes[tenant_name] = max(
+                    self._passes.get(tenant_name, 0.0), self._vtime
+                )
+            queue.append(item)
+            self._size += 1
+            self._cond.notify()
+            return self._size
+
+    # ------------------------------------------------------------- consumers
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._cond:
+            return self._size
+
+    def _pop_fair(self, eligible: list[str]):  # repro: noqa[R001] -- only reachable from take/drain_matching, which hold _cond
+        """Pop from the eligible tenant with the smallest pass (cond held)."""
+        name = min(eligible, key=lambda n: (self._passes[n], n))
+        item = self._queues[name].popleft()
+        self._size -= 1
+        self._vtime = max(self._vtime, self._passes[name])
+        self._passes[name] += 1.0 / self._registry.get(name).weight
+        return item
+
+    def take(self, timeout: float | None = None):
+        """Dequeue the fair-scheduled next request.
+
+        Returns ``None`` on timeout, or when the queue is closed and empty.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._size:
+                    eligible = [n for n, q in self._queues.items() if q]
+                    return self._pop_fair(eligible)
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+
+    def drain_matching(self, predicate: Callable, limit: int) -> list:
+        """Pop up to ``limit`` queue *fronts* that satisfy ``predicate``.
+
+        Only fronts are considered so per-tenant FIFO order is preserved;
+        fairness charges apply as in :meth:`take`.  Non-blocking.
+        """
+        out: list = []
+        with self._cond:
+            while len(out) < limit and self._size:
+                eligible = [
+                    n for n, q in self._queues.items() if q and predicate(q[0])
+                ]
+                if not eligible:
+                    break
+                out.append(self._pop_fair(eligible))
+        return out
+
+    def wait_for_item(self, timeout: float) -> bool:
+        """Block until any item is queued (or timeout); True when non-empty."""
+        with self._cond:
+            if self._size:
+                return True
+            if self._closed:
+                return False
+            self._cond.wait(timeout)
+            return self._size > 0
+
+    def close(self) -> list:
+        """Refuse new work, wake all waiters, and return undelivered items."""
+        with self._cond:
+            self._closed = True
+            leftovers: list = []
+            for queue in self._queues.values():
+                leftovers.extend(queue)
+                queue.clear()
+            self._size = 0
+            self._cond.notify_all()
+            return leftovers

@@ -8,6 +8,7 @@ with ``;`` (multi-line input is accumulated until then).  Meta-commands:
 ``\\schema``    list vertex/edge types and embedding attributes
 ``\\explain``   show the physical plan of the next SELECT instead of running
 ``\\seed N D``  load N random D-dim vectors into a demo Item vertex
+``\\serve``     drive the seeded Item data through a concurrent QueryServer
 ``\\q``         quit
 =============  =============================================================
 
@@ -39,6 +40,7 @@ GSQL shell — statements end with ';'. Meta-commands:
   \\schema       show the catalog
   \\explain ...  print the plan of one SELECT block (no execution)
   \\seed N D     create an Item vertex type with N random D-dim embeddings
+  \\serve [Q C]  run Q queries at concurrency C through a QueryServer demo
   \\stats        print the live telemetry metrics snapshot
   \\q            quit
 Query parameters are not supported interactively — inline literals instead.
@@ -116,6 +118,15 @@ class GSQLShell:
                 self._print("usage: \\seed N DIM")
                 return True
             self._seed_demo(n, dim)
+        elif cmd == "\\serve":
+            parts = rest.split()
+            try:
+                queries = int(parts[0]) if parts else 200
+                concurrency = int(parts[1]) if len(parts) > 1 else 8
+            except ValueError:
+                self._print("usage: \\serve [QUERIES [CONCURRENCY]]")
+                return True
+            self._serve_demo(queries, concurrency)
         elif cmd == "\\stats":
             self._print(format_snapshot(self.telemetry.registry.snapshot()))
         else:
@@ -137,6 +148,60 @@ class GSQLShell:
                 txn.set_embedding("Item", i, "emb", rng.standard_normal(dim))
         self.db.vacuum()
         self._print(f"seeded {n} Item vertices with {dim}-dim embeddings")
+
+    def _serve_demo(self, queries: int, concurrency: int) -> None:
+        """Spin up a QueryServer over the first embedding attribute and
+        hammer it from ``concurrency`` client threads."""
+        import threading
+        import time
+
+        from .serve import QueryServer, ServeConfig
+
+        target = None
+        for name, vtype in self.db.schema.vertex_types.items():
+            for emb in vtype.embeddings.values():
+                target = (f"{name}.{emb.name}", emb.dimension)
+                break
+            if target:
+                break
+        if target is None:
+            self._print("no embedding attributes — try \\seed first")
+            return
+        attr, dim = target
+        if queries < 1 or concurrency < 1:
+            self._print("usage: \\serve [QUERIES [CONCURRENCY]]")
+            return
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((queries, dim)).astype(np.float32)
+
+        def client(worker_id: int, server: QueryServer) -> None:
+            for qi in range(worker_id, queries, concurrency):
+                try:
+                    server.search([attr], vectors[qi], 5)
+                except ReproError:
+                    pass
+
+        with use_telemetry(self.telemetry):
+            config = ServeConfig(workers=min(4, concurrency))
+            start = time.perf_counter()
+            with QueryServer(self.db, config) as server:
+                threads = [
+                    threading.Thread(target=client, args=(i, server))
+                    for i in range(concurrency)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            wall = time.perf_counter() - start
+        self._print(
+            f"served {queries} queries on {attr} in {wall * 1e3:.1f} ms "
+            f"({queries / wall:,.0f} QPS, concurrency {concurrency})"
+        )
+        counters = self.telemetry.registry.snapshot()["counters"]
+        for name in sorted(counters):
+            if name.startswith("serve."):
+                self._print(f"  {name} = {counters[name]}")
 
     def handle_statement(self, text: str) -> None:
         try:

@@ -55,6 +55,22 @@ INSTRUMENTS: dict[str, tuple[str, str]] = {
     "resilience.breaker_open": ("counter", "circuit breaker closed->open transitions"),
     "resilience.breaker_half_open": ("counter", "circuit breaker open->half-open probes"),
     "resilience.breaker_close": ("counter", "circuit breaker half-open->closed recoveries"),
+    # ---- serving ---------------------------------------------------------
+    "serve.requests": ("counter", "requests submitted to the query server"),
+    "serve.completed": ("counter", "requests answered (including typed failures)"),
+    "serve.shed": ("counter", "requests rejected by admission control"),
+    "serve.shed_queue_full": ("counter", "admission rejections: bounded queue full"),
+    "serve.shed_rate_limited": ("counter", "admission rejections: tenant token bucket empty"),
+    "serve.deadline_timeouts": ("counter", "requests deadline-failed before execution"),
+    "serve.batches": ("counter", "micro-batches executed by workers"),
+    "serve.fused_queries": ("counter", "queries answered via the fused batch kernel"),
+    "serve.cache_hits": ("counter", "result-cache hits"),
+    "serve.cache_misses": ("counter", "result-cache misses"),
+    "serve.cache_evictions": ("counter", "result-cache LRU evictions"),
+    "serve.queue_depth": ("gauge", "requests waiting in the weighted-fair queue"),
+    "serve.batch_size": ("histogram", "requests fused per executed micro-batch"),
+    "serve.queue_wait_seconds": ("histogram", "submit-to-dequeue queue wait"),
+    "serve.latency_seconds": ("histogram", "submit-to-answer serving latency"),
 }
 
 #: histogram names that count things rather than time them
@@ -63,6 +79,7 @@ _COUNT_SHAPED = (
     "hnsw.hops",
     "hnsw.ef_expansions",
     "vacuum.delta_size",
+    "serve.batch_size",
 )
 
 

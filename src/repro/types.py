@@ -30,6 +30,7 @@ __all__ = [
     "IndexType",
     "Metric",
     "batch_distances",
+    "batch_distances_multi",
     "distance",
     "normalize",
     "pairwise_distances",
@@ -132,6 +133,24 @@ def batch_distances(query: np.ndarray, vectors: np.ndarray, metric: Metric) -> n
             sims[:] = 0.0
         return 1.0 - sims
     raise VectorSearchError(f"unsupported metric: {metric}")
+
+
+def batch_distances_multi(
+    queries: np.ndarray, vectors: np.ndarray, metric: Metric
+) -> np.ndarray:
+    """Fused multi-query distance kernel: ``(Q, d) x (N, d) -> (Q, N)``.
+
+    The serving micro-batcher uses this so Q concurrent queries share one
+    pass (one matmul) over a segment's vectors instead of Q separate scans.
+    Row ``q`` equals ``batch_distances(queries[q], vectors, metric)`` up to
+    floating-point summation order.
+    """
+    queries = np.asarray(queries, dtype=np.float32)
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if queries.ndim != 2 or vectors.ndim != 2:
+        raise VectorSearchError("batch_distances_multi expects 2-d matrices")
+    _check_dims(queries, vectors)
+    return pairwise_distances(queries, vectors, metric)
 
 
 def distance(a: np.ndarray, b: np.ndarray, metric: Metric) -> float:

@@ -1,0 +1,558 @@
+"""Tests for repro.serve: the concurrent query-serving layer.
+
+Covers the acceptance contracts from the serving PR:
+
+- byte identity: server answers with batching+caching off match direct
+  ``TigerVectorDB.vector_search`` calls exactly (members and distances);
+- micro-batched (fused) answers match direct calls too;
+- snapshot-keyed cache: hits on repeat, invalidation on commit and vacuum;
+- admission control: queue-full / rate-limit / deadline shed with typed
+  errors and MetricsRegistry-visible counts — never a hang or a drop;
+- tenancy: weighted-fair queueing, RBAC-scoped search, read-only GSQL;
+- satellites: hardened HNSW persistence, open-loop load generation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClosedLoopLoadGenerator, ClusterSimulator, make_cluster
+from repro.errors import (
+    AdmissionRejectedError,
+    GSQLSemanticError,
+    IndexPersistenceError,
+    QueryTimeoutError,
+    RateLimitedError,
+    ServeError,
+    VectorSearchError,
+)
+from repro.faults import ResiliencePolicy
+from repro.graph.accumulators import MapAccum
+from repro.index.hnsw import FORMAT_VERSION, HNSWIndex
+from repro.serve import (
+    QueryServer,
+    ResultCache,
+    ServeConfig,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    WeightedFairQueue,
+)
+from repro.telemetry import Telemetry, use_telemetry
+from repro.types import Metric, batch_distances_multi
+
+
+def members(vset):
+    return sorted(vset)
+
+
+def distances(db, vector_attributes, query, k):
+    """Direct-path (vertex, distance) pairs for comparison."""
+    dmap = MapAccum()
+    vset = db.vector_search(vector_attributes, query, k, distance_map=dmap)
+    return members(vset), dict(dmap.items())
+
+
+# --------------------------------------------------------------------------
+# byte identity & batching
+# --------------------------------------------------------------------------
+
+
+class TestByteIdentity:
+    def test_passthrough_matches_direct(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=2, enable_batching=False, enable_cache=False)
+        queries = rng.standard_normal((10, 16)).astype(np.float32)
+        with QueryServer(db, config) as server:
+            for q in queries:
+                dmap = MapAccum()
+                got = server.search(["Post.content_emb"], q, 5, distance_map=dmap)
+                want_members, want_dists = distances(db, ["Post.content_emb"], q, 5)
+                assert members(got) == want_members
+                assert dict(dmap.items()) == want_dists
+
+    def test_fused_batch_matches_direct(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(
+            workers=1,
+            enable_batching=True,
+            enable_cache=False,
+            batch_window_seconds=0.02,
+            min_fused=2,
+        )
+        queries = rng.standard_normal((24, 16)).astype(np.float32)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+            futures = [
+                server.submit_search(["Post.content_emb"], q, 5) for q in queries
+            ]
+            results = [f.result(timeout=30) for f in futures]
+        for q, got in zip(queries, results):
+            assert members(got) == distances(db, ["Post.content_emb"], q, 5)[0]
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters.get("serve.fused_queries", 0) > 0
+
+    def test_db_vector_search_batch_equals_per_query(self, loaded_post_db, rng):
+        db = loaded_post_db
+        queries = rng.standard_normal((8, 16)).astype(np.float32)
+        fused = db.vector_search_batch(
+            ["Post.content_emb"], queries, 5, min_fused=2
+        )
+        for q, got in zip(queries, fused):
+            assert members(got) == members(db.vector_search(["Post.content_emb"], q, 5))
+
+    def test_batch_below_min_fused_falls_back(self, loaded_post_db, rng):
+        db = loaded_post_db
+        queries = rng.standard_normal((2, 16)).astype(np.float32)
+        fused = db.vector_search_batch(
+            ["Post.content_emb"], queries, 5, min_fused=4
+        )
+        for q, got in zip(queries, fused):
+            assert members(got) == members(db.vector_search(["Post.content_emb"], q, 5))
+
+    def test_fused_matches_after_writes_and_vacuum(self, loaded_post_db, rng):
+        db = loaded_post_db
+        with db.begin() as txn:
+            for i in range(200, 220):
+                txn.upsert_vertex("Post", i, {"language": "en", "length": i})
+                txn.set_embedding(
+                    "Post", i, "content_emb", rng.standard_normal(16)
+                )
+        queries = rng.standard_normal((6, 16)).astype(np.float32)
+        fused = db.vector_search_batch(["Post.content_emb"], queries, 7, min_fused=2)
+        for q, got in zip(queries, fused):
+            assert members(got) == members(db.vector_search(["Post.content_emb"], q, 7))
+        db.vacuum()
+        fused = db.vector_search_batch(["Post.content_emb"], queries, 7, min_fused=2)
+        for q, got in zip(queries, fused):
+            assert members(got) == members(db.vector_search(["Post.content_emb"], q, 7))
+
+    def test_batch_distances_multi_validates(self, rng):
+        good = rng.standard_normal((3, 4)).astype(np.float32)
+        out = batch_distances_multi(good, good, Metric.L2)
+        assert out.shape == (3, 3)
+        with pytest.raises(VectorSearchError):
+            batch_distances_multi(good[0], good, Metric.L2)
+        with pytest.raises(VectorSearchError):
+            batch_distances_multi(good, good[:, :2], Metric.L2)
+
+
+# --------------------------------------------------------------------------
+# result cache
+# --------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_hit_on_repeat_and_identical_result(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, enable_batching=False, enable_cache=True)
+        q = rng.standard_normal(16).astype(np.float32)
+        with QueryServer(db, config) as server:
+            first = server.search(["Post.content_emb"], q, 5)
+            second = server.search(["Post.content_emb"], q, 5)
+            stats = server.cache.stats()
+        assert members(first) == members(second)
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert members(first) == distances(db, ["Post.content_emb"], q, 5)[0]
+
+    def test_commit_invalidates(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, enable_batching=False, enable_cache=True)
+        q = rng.standard_normal(16).astype(np.float32)
+        with QueryServer(db, config) as server:
+            before = server.search(["Post.content_emb"], q, 3)
+            # A vector equal to the query becomes the definitive top-1.
+            with db.begin() as txn:
+                txn.upsert_vertex("Post", 900, {"language": "en", "length": 1})
+                txn.set_embedding("Post", 900, "content_emb", q)
+            after = server.search(["Post.content_emb"], q, 3)
+            stats = server.cache.stats()
+        vid_900 = db.store.vid_for_pk("Post", 900)
+        assert ("Post", vid_900) not in before
+        assert ("Post", vid_900) in after
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_vacuum_invalidates_but_results_stable(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, enable_batching=False, enable_cache=True)
+        q = rng.standard_normal(16).astype(np.float32)
+        with db.begin() as txn:
+            txn.upsert_vertex("Post", 901, {"language": "fr", "length": 2})
+            txn.set_embedding("Post", 901, "content_emb", rng.standard_normal(16))
+        with QueryServer(db, config) as server:
+            before = server.search(["Post.content_emb"], q, 5)
+            db.vacuum()  # delta merge + index merge move the watermark
+            after = server.search(["Post.content_emb"], q, 5)
+            stats = server.cache.stats()
+        assert members(before) == members(after)
+        assert stats["misses"] == 2, "vacuum must invalidate, not serve stale"
+
+    def test_no_cache_flag_bypasses(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, enable_batching=False, enable_cache=True)
+        q = rng.standard_normal(16).astype(np.float32)
+        with QueryServer(db, config) as server:
+            server.search(["Post.content_emb"], q, 5, no_cache=True)
+            server.search(["Post.content_emb"], q, 5, no_cache=True)
+            stats = server.cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0 and stats["entries"] == 0
+
+    def test_lru_bounds(self):
+        cache = ResultCache(max_bytes=1 << 20, max_entries=2)
+        def key_for(i):
+            return ResultCache.key(
+                ("Post.content_emb",), np.float32([i]), 3, None, ((1, 1, 1, 0),)
+            )
+        assert cache.put(key_for(0), ((0.0, "Post", 0),)) == 0
+        assert cache.put(key_for(1), ((0.0, "Post", 1),)) == 0
+        assert cache.get(key_for(0)) is not None  # 0 becomes most-recent
+        assert cache.put(key_for(2), ((0.0, "Post", 2),)) == 1  # evicts 1
+        assert cache.get(key_for(1)) is None
+        assert cache.get(key_for(0)) is not None
+        assert len(cache) == 2
+
+    def test_byte_bound_eviction(self):
+        cache = ResultCache(max_bytes=1200, max_entries=64)
+        big = tuple((float(i), "Post", i) for i in range(8))
+        keys = [
+            ResultCache.key(("a",), np.float32([i]), 3, None, ((i, 0, 0, 0),))
+            for i in range(4)
+        ]
+        evicted = sum(cache.put(k, big) for k in keys)
+        assert evicted > 0
+        assert cache.stats()["bytes"] <= 1200
+
+
+# --------------------------------------------------------------------------
+# admission control / overload
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture
+def gated_gsql(loaded_post_db, monkeypatch):
+    """Block GSQL execution on an event so tests can wedge the one worker."""
+    gate = threading.Event()
+    session = loaded_post_db.gsql
+    original = session.run
+
+    def gated_run(text, **kwargs):
+        gate.wait(10)
+        return original(text, **kwargs)
+
+    monkeypatch.setattr(session, "run", gated_run)
+    return gate
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestAdmission:
+    def test_queue_full_sheds_typed(self, loaded_post_db, gated_gsql):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, max_queue_depth=2, enable_batching=False)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+            blocker = server.submit_gsql("INSERT INTO Post VALUES (950)")
+            assert wait_until(lambda: server.queue.depth() == 0)
+            queued = [
+                server.submit_gsql("INSERT INTO Post VALUES (951)"),
+                server.submit_gsql("INSERT INTO Post VALUES (952)"),
+            ]
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                server.submit_gsql("INSERT INTO Post VALUES (953)")
+            assert excinfo.value.reason == "queue_full"
+            gated_gsql.set()
+            for future in [blocker, *queued]:
+                assert future.exception(timeout=10) is None
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.shed"] == 1
+        assert counters["serve.shed_queue_full"] == 1
+        assert counters["serve.completed"] == 3
+
+    def test_rate_limit_sheds_typed(self, loaded_post_db, rng):
+        db = loaded_post_db
+        tenants = [Tenant("metered", rate_limit=0.001, burst=1.0)]
+        config = ServeConfig(workers=1, enable_batching=False, enable_cache=False)
+        telemetry = Telemetry()
+        q = rng.standard_normal(16).astype(np.float32)
+        with use_telemetry(telemetry), QueryServer(db, config, tenants=tenants) as server:
+            ok = server.search(["Post.content_emb"], q, 3, tenant="metered")
+            assert len(members(ok)) == 3
+            with pytest.raises(RateLimitedError) as excinfo:
+                server.submit_search(
+                    ["Post.content_emb"], q, 3, tenant="metered"
+                )
+            assert excinfo.value.reason == "rate_limited"
+            # Other tenants are unaffected by the metered tenant's bucket.
+            server.search(["Post.content_emb"], q, 3)
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.shed_rate_limited"] == 1
+
+    def test_deadline_expired_requests_fail_typed(self, loaded_post_db, gated_gsql):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, max_queue_depth=8, enable_batching=False)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+            blocker = server.submit_gsql("INSERT INTO Post VALUES (960)")
+            assert wait_until(lambda: server.queue.depth() == 0)
+            doomed = server.submit_gsql(
+                "INSERT INTO Post VALUES (961)", timeout=0.01
+            )
+            time.sleep(0.05)  # let the deadline pass while the worker is wedged
+            gated_gsql.set()
+            with pytest.raises(QueryTimeoutError):
+                doomed.result(timeout=10)
+            assert blocker.exception(timeout=10) is None
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.deadline_timeouts"] == 1
+
+    def test_overload_accounts_for_every_request(self, loaded_post_db, rng):
+        """Burst 60 requests at a tiny server: each one either completes or
+        fails with a typed shed/timeout error — never a hang or a drop —
+        and the counters add up in the metrics snapshot."""
+        db = loaded_post_db
+        config = ServeConfig(
+            workers=1, max_queue_depth=4, enable_batching=False,
+            enable_cache=False, default_timeout=0.5,
+        )
+        tenants = [Tenant("burst", rate_limit=50.0, burst=5.0)]
+        queries = rng.standard_normal((60, 16)).astype(np.float32)
+        telemetry = Telemetry()
+        outcomes = {"ok": 0, "shed": 0, "timeout": 0}
+        lock = threading.Lock()
+
+        def fire(q):
+            try:
+                future = server.submit_search(
+                    ["Post.content_emb"], q, 5, tenant="burst"
+                )
+                future.result(timeout=30)
+                bucket = "ok"
+            except (AdmissionRejectedError, RateLimitedError):
+                bucket = "shed"
+            except QueryTimeoutError:
+                bucket = "timeout"
+            with lock:
+                outcomes[bucket] += 1
+
+        with use_telemetry(telemetry), QueryServer(db, config, tenants=tenants) as server:
+            threads = [threading.Thread(target=fire, args=(q,)) for q in queries]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not any(t.is_alive() for t in threads), "a request hung"
+        assert sum(outcomes.values()) == 60
+        assert outcomes["shed"] > 0, "overload must shed"
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters.get("serve.shed", 0) == outcomes["shed"]
+        assert counters.get("serve.deadline_timeouts", 0) == outcomes["timeout"]
+        assert (
+            counters.get("serve.completed", 0) + counters.get("serve.shed", 0)
+            == counters["serve.requests"]
+        )
+
+    def test_token_bucket_refills_on_injected_clock(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.2)  # 0.4 tokens refilled
+        assert bucket.try_acquire(0.6)  # 1.2 tokens by now
+        with pytest.raises(ServeError):
+            TokenBucket(rate=0)
+        with pytest.raises(ServeError):
+            TokenBucket(rate=10, burst=0.5)
+
+
+# --------------------------------------------------------------------------
+# tenancy / fair queueing / lifecycle
+# --------------------------------------------------------------------------
+
+
+class TestTenancy:
+    def test_unknown_tenant_rejected(self, loaded_post_db):
+        with QueryServer(loaded_post_db) as server:
+            with pytest.raises(ServeError, match="unknown tenant"):
+                server.submit_gsql("INSERT INTO Post VALUES (1)", tenant="ghost")
+
+    def test_readonly_tenant_cannot_write(self, loaded_post_db, rng):
+        db = loaded_post_db
+        tenants = [Tenant("reader", allow_writes=False)]
+        config = ServeConfig(workers=1, enable_batching=False)
+        with QueryServer(db, config, tenants=tenants) as server:
+            future = server.submit_gsql(
+                "INSERT INTO Post VALUES (970)", tenant="reader"
+            )
+            error = future.exception(timeout=10)
+            assert isinstance(error, GSQLSemanticError)
+            assert "read-only" in str(error)
+            # Reads still work for the same tenant.
+            result = server.run_gsql(
+                "SELECT s FROM (s:Person) WHERE s.firstName == \"P0\";",
+                tenant="reader",
+            )
+            assert result is not None
+        assert db.store.vid_for_pk("Post", 970) is None
+
+    def test_restricted_role_gets_rbac_filtered_search(self, loaded_post_db, rng):
+        db = loaded_post_db
+        db.access.create_role("en_only", {"Post": lambda row: row["language"] == "en"})
+        tenants = [Tenant("limited", role="en_only")]
+        config = ServeConfig(workers=1, enable_batching=False)
+        q = rng.standard_normal(16).astype(np.float32)
+        with QueryServer(db, config, tenants=tenants) as server:
+            got = server.search(["Post.content_emb"], q, 10, tenant="limited")
+            direct = db.access.authorized_search(
+                "en_only", ["Post.content_emb"], q, 10
+            )
+        assert members(got) == members(direct)
+        with db.snapshot() as snap:
+            rows = dict(snap.scan("Post"))
+        assert all(rows[vid]["language"] == "en" for _, vid in got)
+
+    def test_weighted_fair_queue_interleaves_by_weight(self):
+        registry = TenantRegistry(
+            [Tenant("heavy", weight=2.0), Tenant("light", weight=1.0)]
+        )
+        queue = WeightedFairQueue(registry)
+        for i in range(4):
+            queue.put(("heavy", i), "heavy")
+        for i in range(2):
+            queue.put(("light", i), "light")
+        order = [queue.take(timeout=1)[0] for _ in range(6)]
+        # 2:1 weights → heavy gets ~2 of every 3 slots, not all 4 first.
+        assert order.count("heavy") == 4
+        assert "light" in order[:3]
+        queue.close()
+
+    def test_stop_fails_queued_requests_typed(self, loaded_post_db, gated_gsql):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, enable_batching=False)
+        server = QueryServer(db, config).start()
+        blocker = server.submit_gsql("INSERT INTO Post VALUES (980)")
+        assert wait_until(lambda: server.queue.depth() == 0)
+        stranded = server.submit_gsql("INSERT INTO Post VALUES (981)")
+        gated_gsql.set()
+        server.stop()
+        error = stranded.exception(timeout=10)
+        assert isinstance(error, AdmissionRejectedError)
+        assert error.reason == "shutdown"
+        assert blocker.exception(timeout=10) is None
+        with pytest.raises(ServeError):
+            server.start()
+        with pytest.raises(ServeError):
+            server.submit_gsql("INSERT INTO Post VALUES (982)")
+
+
+# --------------------------------------------------------------------------
+# satellites: HNSW persistence, open-loop load generation
+# --------------------------------------------------------------------------
+
+
+class TestHNSWPersistence:
+    def build(self, rng, n=64, dim=8):
+        index = HNSWIndex(dim=dim, metric=Metric.L2, M=4, ef_construction=32)
+        vectors = rng.standard_normal((n, dim)).astype(np.float32)
+        index.update_items(np.arange(n, dtype=np.int64), vectors)
+        return index, vectors
+
+    def test_roundtrip_preserves_results(self, rng, tmp_path):
+        index, vectors = self.build(rng)
+        path = tmp_path / "seg.hnsw"
+        index.save(path)
+        loaded = HNSWIndex.load(path)
+        for q in vectors[:5]:
+            a = index.topk_search(q, 5)
+            b = loaded.topk_search(q, 5)
+            assert list(a.ids) == list(b.ids)
+            assert np.allclose(a.distances, b.distances)
+
+    def test_corrupt_file_raises_typed(self, rng, tmp_path):
+        path = tmp_path / "junk.hnsw"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(IndexPersistenceError):
+            HNSWIndex.load(path)
+
+    def test_version_mismatch_raises_typed(self, rng, tmp_path):
+        index, _ = self.build(rng)
+        path = tmp_path / "seg.hnsw"
+        index.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(IndexPersistenceError, match="format version"):
+            HNSWIndex.load(path)
+
+    def test_missing_field_raises_typed(self, rng, tmp_path):
+        index, _ = self.build(rng)
+        path = tmp_path / "seg.hnsw"
+        index.save(path)
+        payload = pickle.loads(path.read_bytes())
+        del payload["links0"]
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(IndexPersistenceError, match="missing fields"):
+            HNSWIndex.load(path)
+
+    def test_truncated_vectors_raise_typed(self, rng, tmp_path):
+        index, _ = self.build(rng)
+        path = tmp_path / "seg.hnsw"
+        index.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["vectors"] = payload["vectors"][:-3]
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(IndexPersistenceError):
+            HNSWIndex.load(path)
+
+    def test_non_dict_payload_raises_typed(self, tmp_path):
+        path = tmp_path / "list.hnsw"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(IndexPersistenceError, match="payload dict"):
+            HNSWIndex.load(path)
+
+
+class TestOpenLoopLoadGen:
+    def make_gen(self, deadline=0.02):
+        sim = ClusterSimulator(
+            make_cluster(1, 8, cores=2), policy=ResiliencePolicy(deadline=deadline)
+        )
+        return ClosedLoopLoadGenerator(sim, connections=8)
+
+    def test_underload_completes_offered(self):
+        gen = self.make_gen(deadline=0.5)
+        times = [{seg: 0.004 for seg in range(8)}]
+        result = gen.run_open_loop(times, duration_seconds=2.0, target_qps=20, seed=7)
+        assert result.offered > 0
+        assert result.completed == result.offered
+        assert result.failed == 0
+        assert result.target_qps == 20
+
+    def test_overload_fails_on_deadline_not_hangs(self):
+        gen = self.make_gen(deadline=0.02)
+        times = [{seg: 0.004 for seg in range(8)}]
+        result = gen.run_open_loop(times, duration_seconds=2.0, target_qps=500, seed=7)
+        assert result.offered > 500
+        assert result.failed > 0
+        assert result.completed == result.offered  # every arrival resolved
+
+    def test_seeded_runs_reproduce(self):
+        gen = self.make_gen()
+        times = [{seg: 0.004 for seg in range(8)}]
+        a = gen.run_open_loop(times, duration_seconds=1.0, target_qps=100, seed=3)
+        b = gen.run_open_loop(times, duration_seconds=1.0, target_qps=100, seed=3)
+        assert (a.offered, a.completed, a.failed, a.qps) == (
+            b.offered, b.completed, b.failed, b.qps,
+        )
+        c = gen.run_open_loop(times, duration_seconds=1.0, target_qps=100, seed=4)
+        assert (a.offered, a.qps) != (c.offered, c.qps)
