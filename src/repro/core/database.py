@@ -22,6 +22,7 @@ Typical use::
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -64,6 +65,11 @@ class TigerVectorDB:
         self.vacuum_manager = VacuumManager(self.store, self.service, spill_dir=spill_dir)
         self.executor = MPPExecutor(max_workers=max_workers)
         self._gsql_session = None
+        # Guards the lazy gsql/access singletons: serve workers hit both
+        # properties concurrently, and an unguarded check-then-create would
+        # let two threads race to construct (one session wins, the other's
+        # installed state is silently lost).
+        self._lazy_lock = threading.Lock()
 
     # ------------------------------------------------------------- recovery
     @classmethod
@@ -91,6 +97,7 @@ class TigerVectorDB:
         db.vacuum_manager = VacuumManager(db.store, db.service)
         db.executor = MPPExecutor(max_workers=kwargs.get("max_workers"))
         db._gsql_session = None
+        db._lazy_lock = threading.Lock()
         return db
 
     # --------------------------------------------------------- transactions
@@ -235,19 +242,28 @@ class TigerVectorDB:
     def access(self):
         """Role-based access control (unified graph+vector governance)."""
         if getattr(self, "_access", None) is None:
-            from .auth import AccessController
+            with self._lazy_lock:
+                if getattr(self, "_access", None) is None:
+                    from .auth import AccessController
 
-            self._access = AccessController(self)
+                    self._access = AccessController(self)
         return self._access
 
     # ----------------------------------------------------------------- GSQL
     @property
     def gsql(self):
-        """The GSQL session: ``db.gsql.run("SELECT s FROM (s:Post) ...")``."""
-        if self._gsql_session is None:
-            from ..gsql.session import GSQLSession
+        """The GSQL session: ``db.gsql.run("SELECT s FROM (s:Post) ...")``.
 
-            self._gsql_session = GSQLSession(self)
+        One shared session per database; concurrent ``run()`` calls are
+        supported for query execution (see :class:`~repro.gsql.session.
+        GSQLSession` for the exact contract).
+        """
+        if self._gsql_session is None:
+            with self._lazy_lock:
+                if self._gsql_session is None:
+                    from ..gsql.session import GSQLSession
+
+                    self._gsql_session = GSQLSession(self)
         return self._gsql_session
 
     def run_gsql(self, text: str, **params):

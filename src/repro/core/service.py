@@ -164,6 +164,21 @@ class EmbeddingStore:
             self.delta_store.max_tid,
         )
 
+    @staticmethod
+    def watermark_tid(mark: tuple[int, int, int, int]) -> int:
+        """Highest graph TID a :meth:`watermark` tuple has observed.
+
+        Commits bump the watermark (via the embedding hook, inside the
+        graph store's commit critical section) *before* the store publishes
+        ``last_tid``, so a concurrently read watermark can run ahead of any
+        snapshot pinned afterwards.  Comparing this ceiling against the
+        snapshot's TID is how the serving cache detects that interleaving:
+        ``watermark_tid(mark) > snapshot.tid`` means the key describes
+        state the snapshot cannot see, and the result must not be cached
+        under it.
+        """
+        return max(mark[1], mark[2], mark[3])
+
     # ------------------------------------------------------------ loading
     def bulk_load(self, vids: np.ndarray, vectors: np.ndarray, tid: int, num_threads: int = 1) -> None:
         """Partition a bulk batch by segment and build each directly."""

@@ -69,7 +69,19 @@ class QueryResult:
 
 
 class GSQLSession:
-    """Stateful GSQL front end over one :class:`TigerVectorDB`."""
+    """Stateful GSQL front end over one :class:`TigerVectorDB`.
+
+    Thread-safety: concurrent :meth:`run` / :meth:`run_query` calls are
+    supported for *query execution* — every per-run value lives in the
+    :class:`QueryResult` and :class:`ExecutionContext` created inside the
+    call, and each statement pins its own MVCC snapshot.  Session state
+    (``installed_queries``, ``loading_jobs``, ``default_ef``) is read
+    per-call and mutated only by whole-reference assignments, so readers
+    never observe a half-built entry; concurrent DDL/:meth:`install` of
+    the *same* name is last-writer-wins, not merged.  The serving layer
+    (``repro.serve``) relies on this: its workers share one session and
+    gate writes per tenant rather than serializing execution.
+    """
 
     def __init__(self, db):
         self.db = db

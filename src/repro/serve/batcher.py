@@ -1,11 +1,15 @@
 """Dynamic micro-batching: coalesce compatible requests into one scan.
 
 After a worker dequeues a batchable request (the *leader*), it keeps
-draining queue fronts with the same batch key — identical attribute set,
-k, and ef; no filter; full-access tenant — until the batch is full or the
-collection window closes.  The window only costs latency when there is
-something to wait for: an already-full queue batches instantly, and a lone
-request on an idle server waits at most ``window_seconds``.
+draining queue fronts with the same batch key — identical attribute set
+and k; default ef; no filter; full-access tenant — until the batch is
+full or the collection window closes.  The window only costs latency when
+there is something to wait for: an already-full queue batches instantly,
+and a lone request on an idle server waits at most ``window_seconds``.
+Re-scans are driven by the queue's put counter, so fronts are only
+re-examined after a *new arrival* — a queue holding only incompatible
+requests parks the worker in one blocking wait instead of spinning
+drain/check cycles for the rest of the window.
 
 The fused batch then runs through
 :func:`repro.core.search.vector_search_batch`, which scans each segment
@@ -21,10 +25,6 @@ import time
 from .tenancy import WeightedFairQueue
 
 __all__ = ["MicroBatcher"]
-
-#: Upper bound on one condition-wait inside the window, so a stream of
-#: non-matching arrivals cannot pin the worker past the deadline.
-_MAX_WAIT_SLICE = 0.0005
 
 
 class MicroBatcher:
@@ -48,6 +48,10 @@ class MicroBatcher:
             return batch
         deadline = time.monotonic() + self.window_seconds
         while len(batch) < self.max_batch:
+            # Read the arrival counter BEFORE draining: a put landing
+            # between the drain and the wait then wakes the wait
+            # immediately instead of being missed for a whole slice.
+            seen = self.queue.put_sequence()
             matched = self.queue.drain_matching(
                 lambda request: request.batch_key() == key,
                 self.max_batch - len(batch),
@@ -59,5 +63,5 @@ class MicroBatcher:
             if remaining <= 0:
                 break
             if not matched:
-                self.queue.wait_for_item(min(remaining, _MAX_WAIT_SLICE))
+                self.queue.wait_for_put(seen, remaining)
         return batch

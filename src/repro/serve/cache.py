@@ -4,14 +4,37 @@ Keys embed the MVCC watermark (:meth:`EmbeddingStore.watermark`) of every
 store the query touches, read *before* the executing snapshot is taken.
 Any commit, delta merge, or index merge on a touched store perturbs its
 watermark, so stale entries become unreachable rather than needing
-explicit invalidation.  The watermark-before-snapshot ordering makes the
-one race benign: a commit slipping between the watermark read and the
-snapshot can only make an entry *fresher* than its key, and that same
-commit's watermark bump guarantees no later lookup ever matches the key.
+explicit invalidation.
+
+A commit can interleave with the watermark-read -> snapshot-pin sequence
+in two ways, and they are not symmetric:
+
+- *Commit fully publishes in between* (watermark read pre-commit,
+  snapshot post-commit): benign.  The entry is merely fresher than its
+  key claims, and the commit's own watermark bump guarantees no later
+  lookup ever matches the stale key.
+- *Commit is mid-publication* (the embedding hook has already appended
+  delta records — bumping ``delta_store.max_tid``, a watermark
+  component — but ``last_tid`` is not yet published): the worker reads a
+  post-commit watermark yet pins a pre-commit snapshot.  Caching that
+  result would serve the pre-commit top-k to every post-commit lookup.
+  The server therefore validates after pinning: if any watermark TID
+  component (:meth:`EmbeddingStore.watermark_tid`) exceeds the
+  snapshot's TID, the result is served but **not** cached
+  (``serve.cache_bypass_commit_race``).
+
+Because puts pass that validation, a hit is always consistent: the entry
+was computed on a snapshot at least as new as every TID in its key.
 
 Values are the sorted ``(distance, vertex_type, vid)`` triples from
 :func:`repro.core.search.vector_search_merged` — immutable, and carrying
-the distances needed to re-fill a caller's distance map on a hit.
+the distances needed to re-fill a caller's distance map on a hit.  Each
+entry records the *kernel* that produced it (``"hnsw"`` per-query,
+``"fused"`` exact batch).  Explicit-``ef`` requests never fuse, so an
+``ef``-keyed entry only ever comes from the per-query path; default-``ef``
+keys may be filled by either kernel, and the fused kernel is exact brute
+force — its members are never worse than the per-query HNSW answer, with
+distances equal up to BLAS reduction order in the last ulp.
 
 The cache is a lock leaf: methods never call into the engine or telemetry
 while holding the lock; :meth:`put` returns the eviction count so the
@@ -85,24 +108,35 @@ class ResultCache:
             self._hits += 1
             return entry[0]
 
-    def put(self, key: tuple, value: tuple) -> int:
-        """Insert (or refresh) an entry; returns how many LRU evictions ran."""
+    def put(self, key: tuple, value: tuple, kernel: str = "hnsw") -> int:
+        """Insert (or refresh) an entry; returns how many LRU evictions ran.
+
+        ``kernel`` records which execution path produced the value (see the
+        module docstring) for introspection via :meth:`kernel` and
+        :meth:`stats`.
+        """
         nbytes = self._estimate(key, value)
         evicted = 0
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= old[1]
-            self._entries[key] = (value, nbytes)
+            self._entries[key] = (value, nbytes, kernel)
             self._bytes += nbytes
             while self._entries and (
                 self._bytes > self.max_bytes or len(self._entries) > self.max_entries
             ):
-                _, (_, dropped) = self._entries.popitem(last=False)
+                _, (_, dropped, _) = self._entries.popitem(last=False)
                 self._bytes -= dropped
                 evicted += 1
             self._evictions += evicted
         return evicted
+
+    def kernel(self, key: tuple) -> str | None:
+        """Which kernel produced the entry (no LRU/stat effects); None if absent."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else entry[2]
 
     def clear(self) -> None:
         with self._lock:
@@ -116,6 +150,9 @@ class ResultCache:
     def stats(self) -> dict:
         with self._lock:
             lookups = self._hits + self._misses
+            kernels: dict[str, int] = {}
+            for _, _, kernel in self._entries.values():
+                kernels[kernel] = kernels.get(kernel, 0) + 1
             return {
                 "entries": len(self._entries),
                 "bytes": self._bytes,
@@ -123,4 +160,5 @@ class ResultCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "hit_ratio": (self._hits / lookups) if lookups else 0.0,
+                "kernels": kernels,
             }

@@ -22,7 +22,12 @@ Correctness contracts:
   (``QueryTimeoutError`` for deadline misses, ``AdmissionRejectedError``
   with ``reason='shutdown'`` for requests drained at stop).
 - **Freshness**: cache keys embed store watermarks read *before* the
-  executing snapshot (see cache.py for why that ordering is the safe one).
+  executing snapshot, and a result is only cached when the pinned
+  snapshot's TID covers every watermark component — a commit can publish
+  its watermark bump (embedding hook) before ``last_tid``, so a worker
+  may observe a post-commit watermark with a pre-commit snapshot; such
+  results are served but never cached (see cache.py for the full
+  interleaving analysis).
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from ..core.search import (
     vector_search_batch,
     vector_search_merged,
 )
+from ..core.service import EmbeddingStore
 from ..errors import (
     AdmissionRejectedError,
     FaultInjectionError,
@@ -142,21 +148,35 @@ class QueryRequest:
         """Fusion compatibility key; None means unbatchable.
 
         Filtered searches and tenants with restricted roles execute
-        per-request (their validity masks differ per caller), so only
-        plain full-access top-k requests fuse — exactly the shape the
-        fused kernel supports.
+        per-request (their validity masks differ per caller), and an
+        explicit ``ef`` requests a specific HNSW accuracy contract the
+        exact fused kernel would silently ignore — so only plain
+        full-access default-``ef`` top-k requests fuse, exactly the shape
+        the fused kernel supports.
         """
         if (
             self.kind != "vector"
             or self.filter is not None
+            or self.ef is not None
             or self.tenant.role != "admin"
         ):
             return None
-        return (self.vector_attributes, self.k, self.ef)
+        return (self.vector_attributes, self.k)
 
     @property
     def cacheable(self) -> bool:
-        return self.batch_key() is not None and not self.no_cache
+        """Cache eligibility; broader than fusion eligibility.
+
+        Explicit-``ef`` requests never fuse, so their ``ef``-keyed cache
+        entries are only ever produced by the per-query HNSW path — one
+        kernel per key keeps repeated identical requests reproducible.
+        """
+        return (
+            self.kind == "vector"
+            and self.filter is None
+            and self.tenant.role == "admin"
+            and not self.no_cache
+        )
 
 
 class QueryServer:
@@ -443,9 +463,10 @@ class QueryServer:
         cache = self.cache
         watermarks = None
         if cache is not None and any(r.cacheable for r in batch):
-            # All cacheable members of one batch share a batch key, hence
-            # the same attribute set and the same watermark tuple.  Read
-            # watermarks BEFORE taking the snapshot (see cache.py).
+            # Multi-request batches only form around a shared fusion key,
+            # so every member has the leader's attribute set (singleton
+            # batches trivially so) and one watermark tuple covers all.
+            # Read watermarks BEFORE taking the snapshot (see cache.py).
             try:
                 watermarks = self._watermarks(batch[0].vector_attributes)
             except ReproError as exc:
@@ -481,6 +502,17 @@ class QueryServer:
             return
 
         with self.db.snapshot() as snapshot:
+            if watermarks is not None and any(
+                EmbeddingStore.watermark_tid(mark) > snapshot.tid
+                for mark in watermarks
+            ):
+                # A commit published its watermark bump (the embedding hook
+                # runs inside the commit critical section) but not yet its
+                # last_tid, so the key describes state this snapshot cannot
+                # see.  Caching the result would serve a pre-commit top-k to
+                # every post-commit lookup; serve it uncached instead.
+                tel.inc("serve.cache_bypass_commit_race")
+                pending = [(request, None) for request, _ in pending]
             fusable = [item for item in pending if item[0].batch_key() is not None]
             singles = [item for item in pending if item[0].batch_key() is None]
             if (
@@ -518,7 +550,7 @@ class QueryServer:
         evictions = 0
         for (request, key), top in zip(fusable, tops):
             if key is not None and self.cache is not None:
-                evictions += self.cache.put(key, tuple(top))
+                evictions += self.cache.put(key, tuple(top), kernel="fused")
             self._finish(
                 request, value=build_topk_vertex_set(top, request.distance_map)
             )
@@ -560,7 +592,7 @@ class QueryServer:
             self._finish(request, error=exc)
             return
         if key is not None and self.cache is not None:
-            evicted = self.cache.put(key, tuple(top))
+            evicted = self.cache.put(key, tuple(top), kernel="hnsw")
             if evicted:
                 tel.inc("serve.cache_evictions", evicted)
         self._finish(

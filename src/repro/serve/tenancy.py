@@ -86,6 +86,7 @@ class WeightedFairQueue:
         self._passes: dict[str, float] = {}
         self._vtime = 0.0
         self._size = 0
+        self._puts = 0  # monotone arrival counter; see wait_for_put
         self._closed = False
 
     # ------------------------------------------------------------- producers
@@ -110,7 +111,8 @@ class WeightedFairQueue:
                 )
             queue.append(item)
             self._size += 1
-            self._cond.notify()
+            self._puts += 1
+            self._cond.notify_all()
             return self._size
 
     # ------------------------------------------------------------- consumers
@@ -170,15 +172,28 @@ class WeightedFairQueue:
                 out.append(self._pop_fair(eligible))
         return out
 
-    def wait_for_item(self, timeout: float) -> bool:
-        """Block until any item is queued (or timeout); True when non-empty."""
+    def put_sequence(self) -> int:
+        """Monotone count of :meth:`put` calls; pair with :meth:`wait_for_put`."""
         with self._cond:
-            if self._size:
-                return True
-            if self._closed:
-                return False
-            self._cond.wait(timeout)
-            return self._size > 0
+            return self._puts
+
+    def wait_for_put(self, since: int, timeout: float) -> int:
+        """Block until a put lands after ``since`` (or timeout/close).
+
+        Returns the current put counter.  Unlike waiting for "non-empty",
+        this blocks even while non-matching items sit queued — the
+        batcher's cue to re-scan queue fronts is a *new arrival*, so a
+        queue full of incompatible requests costs it one wait, not a busy
+        spin through the whole collection window.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._puts == since and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return self._puts
 
     def close(self) -> list:
         """Refuse new work, wake all waiters, and return undelivered items."""

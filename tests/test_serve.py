@@ -35,6 +35,7 @@ from repro.faults import ResiliencePolicy
 from repro.graph.accumulators import MapAccum
 from repro.index.hnsw import FORMAT_VERSION, HNSWIndex
 from repro.serve import (
+    MicroBatcher,
     QueryServer,
     ResultCache,
     ServeConfig,
@@ -96,6 +97,32 @@ class TestByteIdentity:
             assert members(got) == distances(db, ["Post.content_emb"], q, 5)[0]
         counters = telemetry.registry.snapshot()["counters"]
         assert counters.get("serve.fused_queries", 0) > 0
+
+    def test_explicit_ef_requests_never_fuse(self, loaded_post_db, rng):
+        """An explicit ef is a per-query HNSW accuracy contract; the exact
+        fused kernel ignores ef, so such requests must execute per-query
+        (and their ef-keyed cache entries stay per-query-produced)."""
+        db = loaded_post_db
+        config = ServeConfig(
+            workers=1,
+            enable_batching=True,
+            enable_cache=True,
+            batch_window_seconds=0.02,
+            min_fused=2,
+        )
+        queries = rng.standard_normal((8, 16)).astype(np.float32)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+            futures = [
+                server.submit_search(["Post.content_emb"], q, 5, ef=64)
+                for q in queries
+            ]
+            for f in futures:
+                assert f.exception(timeout=30) is None
+            stats = server.cache.stats()
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters.get("serve.fused_queries", 0) == 0
+        assert stats["kernels"] == {"hnsw": len(queries)}
 
     def test_db_vector_search_batch_equals_per_query(self, loaded_post_db, rng):
         db = loaded_post_db
@@ -202,6 +229,27 @@ class TestResultCache:
             stats = server.cache.stats()
         assert stats["hits"] == 0 and stats["misses"] == 0 and stats["entries"] == 0
 
+    def test_cache_records_producing_kernel(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(
+            workers=1,
+            enable_batching=True,
+            enable_cache=True,
+            batch_window_seconds=0.02,
+            min_fused=2,
+        )
+        queries = rng.standard_normal((12, 16)).astype(np.float32)
+        with QueryServer(db, config) as server:
+            # Concurrent default-ef submissions fuse; entries tagged "fused".
+            futures = [
+                server.submit_search(["Post.content_emb"], q, 5) for q in queries
+            ]
+            for f in futures:
+                assert f.exception(timeout=30) is None
+            kernels = server.cache.stats()["kernels"]
+        assert kernels.get("fused", 0) + kernels.get("hnsw", 0) == len(queries)
+        assert kernels.get("fused", 0) > 0
+
     def test_lru_bounds(self):
         cache = ResultCache(max_bytes=1 << 20, max_entries=2)
         def key_for(i):
@@ -226,6 +274,77 @@ class TestResultCache:
         evicted = sum(cache.put(k, big) for k in keys)
         assert evicted > 0
         assert cache.stats()["bytes"] <= 1200
+
+
+# --------------------------------------------------------------------------
+# micro-batcher collection window
+# --------------------------------------------------------------------------
+
+
+class _FakeRequest:
+    """Minimal stand-in: the batcher only ever calls batch_key()."""
+
+    def __init__(self, key):
+        self._key = key
+
+    def batch_key(self):
+        return self._key
+
+
+class TestBatcherWindow:
+    def test_wait_for_put_ignores_existing_items(self):
+        """A non-empty queue alone must not wake the batcher — only a new
+        arrival can change which fronts match, so waking on 'non-empty'
+        degenerates into a busy spin against incompatible requests."""
+        queue = WeightedFairQueue(TenantRegistry())
+        queue.put(_FakeRequest(("other",)), "default")
+        seen = queue.put_sequence()
+        start = time.monotonic()
+        assert queue.wait_for_put(seen, 0.05) == seen
+        assert time.monotonic() - start >= 0.04
+
+        waker = threading.Timer(0.01, lambda: queue.put(_FakeRequest(None), "default"))
+        waker.start()
+        start = time.monotonic()
+        assert queue.wait_for_put(seen, 5.0) == seen + 1
+        assert time.monotonic() - start < 1.0
+        queue.close()
+
+    def test_collect_blocks_instead_of_spinning_on_nonmatching(self):
+        queue = WeightedFairQueue(TenantRegistry())
+        batcher = MicroBatcher(queue, window_seconds=0.15, max_batch=4)
+        queue.put(_FakeRequest(("other", 5)), "default")
+        leader = _FakeRequest(("mine", 5))
+        wall_start = time.monotonic()
+        cpu_start = time.process_time()
+        batch = batcher.collect(leader)
+        wall = time.monotonic() - wall_start
+        cpu = time.process_time() - cpu_start
+        assert batch == [leader]
+        assert queue.depth() == 1, "incompatible front must stay queued"
+        assert wall >= 0.1, "window must be honored"
+        # A busy spin would burn ~the whole window of CPU; a blocking wait
+        # burns almost none.
+        assert cpu < 0.1, f"collect() busy-spun: {cpu:.3f}s CPU for {wall:.3f}s wall"
+        queue.close()
+
+    def test_collect_fills_from_matching_arrivals(self):
+        queue = WeightedFairQueue(TenantRegistry())
+        batcher = MicroBatcher(queue, window_seconds=5.0, max_batch=3)
+        leader = _FakeRequest(("k",))
+        followers = [_FakeRequest(("k",)) for _ in range(2)]
+        timers = [
+            threading.Timer(0.01 * (i + 1), lambda r=r: queue.put(r, "default"))
+            for i, r in enumerate(followers)
+        ]
+        for t in timers:
+            t.start()
+        start = time.monotonic()
+        batch = batcher.collect(leader)
+        elapsed = time.monotonic() - start
+        assert batch == [leader, *followers]
+        assert elapsed < 4.0, "a full batch must not wait out the window"
+        queue.close()
 
 
 # --------------------------------------------------------------------------

@@ -25,6 +25,7 @@ import pytest
 from repro.errors import ReproError
 from repro.graph.accumulators import MapAccum
 from repro.serve import QueryServer, ServeConfig
+from repro.telemetry import Telemetry, use_telemetry
 
 
 ROUNDS = 4
@@ -50,6 +51,62 @@ def assert_same_topk(served, served_map, direct, direct_map, label):
             f"stale distance for {label} member {member}: "
             f"{got_d[member]} != {want_d[member]}"
         )
+
+
+def test_midcommit_watermark_race_never_poisons_cache(loaded_post_db, rng):
+    """Deterministic reproduction of the hook-before-publish interleaving.
+
+    ``GraphStore._commit`` fires embedding hooks (which bump
+    ``delta_store.max_tid``, a watermark component) *before* publishing
+    ``_last_tid``.  A hook that stalls mid-commit freezes exactly that
+    window: a search served now reads a post-commit watermark but pins a
+    pre-commit snapshot.  The server must serve it *uncached* — otherwise,
+    once the commit publishes, every identical query computes the same
+    watermark, hits the poisoned entry, and misses the new exact-match
+    vertex until an unrelated commit moves the key.
+    """
+    db = loaded_post_db
+    config = ServeConfig(workers=2, enable_batching=False, enable_cache=True)
+    q = rng.standard_normal(DIM).astype(np.float32)
+    entered = threading.Event()
+    release = threading.Event()
+
+    def stalling_hook(tid, ops):
+        # Registered after the embedding service's hook, so by the time
+        # this runs the delta records for `tid` are appended (watermark
+        # bumped) while store._last_tid still reads tid-1.
+        entered.set()
+        release.wait(timeout=30)
+
+    db.store.register_embedding_hook(stalling_hook)
+    telemetry = Telemetry()
+    with use_telemetry(telemetry), db, QueryServer(db, config) as server:
+
+        def commit():
+            with db.begin() as txn:
+                txn.upsert_vertex("Post", 900, {"language": "en", "length": 1})
+                txn.set_embedding("Post", 900, "content_emb", q)
+
+        committer = threading.Thread(target=commit)
+        committer.start()
+        assert entered.wait(timeout=10), "commit never reached the hook"
+        # Served while the commit is wedged mid-publication: watermark
+        # includes the commit, the pinned snapshot does not.
+        during = server.search(["Post.content_emb"], q, 3)
+        release.set()
+        committer.join(timeout=30)
+        assert not committer.is_alive()
+
+        served_map, direct_map = MapAccum(), MapAccum()
+        after = server.search(["Post.content_emb"], q, 3, distance_map=served_map)
+        direct = db.vector_search(["Post.content_emb"], q, 3, distance_map=direct_map)
+        vid_900 = db.store.vid_for_pk("Post", 900)
+        assert ("Post", vid_900) not in during  # pre-commit view was correct
+        assert ("Post", vid_900) in after, "stale cached top-k served post-commit"
+        assert_same_topk(after, served_map, direct, direct_map, "post-commit probe")
+
+    counters = telemetry.registry.snapshot()["counters"]
+    assert counters.get("serve.cache_bypass_commit_race", 0) >= 1
 
 
 @pytest.mark.slow
