@@ -73,10 +73,7 @@ class EmbeddingAction:
     def _run_segments(self, fn, seg_nos: list[int]) -> list:
         if not seg_nos:
             return []
-        if not self.parallel or len(seg_nos) == 1:
-            return [fn(seg_no) for seg_no in seg_nos]
-        pool = self.executor._ensure_pool()
-        return [f.result() for f in [pool.submit(fn, s) for s in seg_nos]]
+        return self.executor.map(fn, seg_nos, parallel=self.parallel)
 
     # --------------------------------------------------------------- top-k
     def topk(

@@ -180,10 +180,19 @@ def vector_search_batch(
     """Fused multi-query VectorSearch (the serving micro-batch kernel).
 
     Returns one sorted top-k triple list per query row.  Batches smaller
-    than ``min_fused`` fall back to the per-query HNSW path; at or above it
-    every segment is scanned once for *all* queries via
-    :meth:`EmbeddingStore.search_segment_batch` (exact brute force, so
-    recall is never below the per-query path).  Unfiltered only.
+    than ``min_fused`` fall back to the per-query path; at or above it every
+    segment is visited once for *all* queries:
+
+    - ``ef is None`` (approximate requests) →
+      :meth:`EmbeddingStore.search_segment_batch`, exact brute force, so
+      recall is never below the per-query path;
+    - explicit ``ef`` →
+      :meth:`EmbeddingStore.search_segment_multi`, lockstep-beam fused HNSW
+      (:meth:`~repro.index.hnsw.HNSWIndex.topk_search_multi`) that honours
+      the requested accuracy knob and returns results identical to running
+      the per-query path query by query.
+
+    Unfiltered only.
     """
     if k <= 0:
         raise VectorSearchError("k must be positive")
@@ -219,9 +228,14 @@ def vector_search_batch(
         for qualified, vertex_type, _ in resolved:
             store = service.store(vertex_type, qualified.split(".", 1)[1])
             for seg_no in range(store.num_segments):
-                outputs = store.search_segment_batch(
-                    seg_no, queries, k, snapshot_tid=snapshot.tid
-                )
+                if ef is None:
+                    outputs = store.search_segment_batch(
+                        seg_no, queries, k, snapshot_tid=snapshot.tid
+                    )
+                else:
+                    outputs = store.search_segment_multi(
+                        seg_no, queries, k, snapshot_tid=snapshot.tid, ef=ef
+                    )
                 base = seg_no * store.segment_size
                 for qi, output in enumerate(outputs):
                     per_query[qi].extend(

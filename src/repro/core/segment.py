@@ -28,6 +28,8 @@ import numpy as np
 
 from ..errors import ReproError, VectorSearchError
 from ..index.interface import VectorIndex, create_index
+from ..index.kernels import DistanceKernel
+from ..types import Metric
 from .delta import DELETE, UPSERT, DeltaRecord
 from .embedding import EmbeddingType
 
@@ -42,6 +44,30 @@ class SegmentSnapshot:
     index: VectorIndex
     vectors: np.ndarray  # (capacity, dim), rows valid where present
     present: np.ndarray  # (capacity,) bool
+    _kernel: DistanceKernel | None = None  # lazy scan kernel; never pickled
+
+    def kernel(self, metric: Metric) -> DistanceKernel:
+        """Distance kernel over this snapshot's raw vectors, built lazily.
+
+        Snapshots are immutable once installed, so the augmented-row cache
+        is computed once and shared by every brute-force/overlay scan that
+        reads this snapshot.  (``bulk_load`` — the offline ingest path that
+        mutates the current snapshot in place — drops the cache.)  Benign
+        race under concurrent first calls: both build, one wins the write.
+        """
+        kernel = self._kernel
+        if kernel is None or kernel.metric is not metric:
+            kernel = DistanceKernel.for_matrix(self.vectors, metric)
+            self._kernel = kernel
+        return kernel
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_kernel"] = None  # derived cache: rebuild on load, halve snapshots
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 class EmbeddingSegment:
@@ -169,6 +195,7 @@ class EmbeddingSegment:
         snap = self._current
         snap.vectors[offsets] = vectors
         snap.present[offsets] = True
+        snap._kernel = None  # in-place mutation invalidates the scan kernel
         snap.index.update_items(offsets.tolist(), vectors, num_threads=num_threads)
         snap.tid = max(snap.tid, tid)
 

@@ -20,7 +20,7 @@ import numpy as np
 from ..errors import UnknownTypeError, VectorSearchError
 from ..graph.schema import GraphSchema
 from ..index.bitmap import Bitmap
-from ..types import Metric, batch_distances, batch_distances_multi
+from ..index.kernels import DistanceKernel
 from .delta import DELETE, UPSERT, DeltaFile, DeltaRecord, DeltaStore
 from .embedding import EmbeddingType
 from .segment import EmbeddingSegment, SegmentSnapshot
@@ -251,6 +251,23 @@ class EmbeddingStore:
                 allowed[offset] = False
         return snap, overlay_last, allowed
 
+    @staticmethod
+    def _overlay_kernel(
+        overlay_last: dict[int, DeltaRecord],
+        fresh_offsets: list[int],
+        metric,
+    ) -> DistanceKernel:
+        """Transient distance kernel over the overlay's upserted vectors.
+
+        Built per search (overlays are small and change every commit); both
+        the per-query and the fused paths construct it the same way so their
+        overlay distances are computed by identical calls.
+        """
+        fresh_vectors = np.stack(
+            [overlay_last[off].vector for off in fresh_offsets]
+        ).astype(np.float32)
+        return DistanceKernel.for_matrix(fresh_vectors, metric)
+
     def search_segment(
         self,
         seg_no: int,
@@ -281,7 +298,8 @@ class EmbeddingStore:
             if valid_count < threshold:
                 used_bruteforce = True
                 offsets = np.flatnonzero(allowed)
-                dists = batch_distances(query, snap.vectors[offsets], metric)
+                kernel = snap.kernel(metric)
+                dists = kernel.distances(kernel.query(query), offsets)
                 top = min(k, offsets.size)
                 part = np.argpartition(dists, top - 1)[:top]
                 for i in part:
@@ -302,10 +320,8 @@ class EmbeddingStore:
             if record.action == UPSERT and (bitmap is None or bitmap.is_valid(off))
         ]
         if fresh_offsets:
-            fresh_vectors = np.stack(
-                [overlay_last[off].vector for off in fresh_offsets]
-            ).astype(np.float32)
-            dists = batch_distances(query, fresh_vectors, metric)
+            okernel = self._overlay_kernel(overlay_last, fresh_offsets, metric)
+            dists = okernel.distances_prefix(okernel.query(query), len(fresh_offsets))
             results.extend((float(d), int(o)) for d, o in zip(dists, fresh_offsets))
 
         results.sort()
@@ -316,6 +332,89 @@ class EmbeddingStore:
             distances=[d for d, _ in results],
             used_bruteforce=used_bruteforce,
         )
+
+    def search_segment_multi(
+        self,
+        seg_no: int,
+        queries: np.ndarray,
+        k: int,
+        snapshot_tid: int,
+        ef: int | None = None,
+    ) -> list[SegmentSearchOutput]:
+        """Fused multi-query :meth:`search_segment` (explicit-``ef`` serving).
+
+        Replicates the per-query path's semantics *exactly* — same
+        brute-force-vs-HNSW flip, same overlay handling, same tie-breaks —
+        but shares the per-segment work across the batch: one MVCC view
+        resolution, one snapshot-kernel gather for brute-force scans, and
+        lockstep-beam :meth:`~repro.index.hnsw.HNSWIndex.topk_search_multi`
+        HNSW traversal.  Every distance is produced by the same kernel calls
+        as the solo path, so results are identical (not merely close) to
+        running :meth:`search_segment` per query.  Unfiltered only, like
+        :meth:`search_segment_batch`.
+        """
+        fault_hook = self.fault_hook
+        if fault_hook is not None:
+            fault_hook(seg_no)  # may raise FaultInjectionError (chaos tests)
+        queries = np.asarray(queries, dtype=np.float32)
+        metric = self.embedding.metric
+        snap, overlay_last, allowed = self._segment_view(seg_no, snapshot_tid, None)
+
+        threshold = self.bf_threshold
+        valid_count = int(np.count_nonzero(allowed))
+        num_queries = queries.shape[0]
+        per_query: list[list[tuple[float, int]]] = [[] for _ in range(num_queries)]
+
+        used_bruteforce = False
+        if valid_count > 0:
+            if valid_count < threshold:
+                used_bruteforce = True
+                offsets = np.flatnonzero(allowed)
+                kernel = snap.kernel(metric)
+                top = min(k, offsets.size)
+                for qi in range(num_queries):
+                    dists = kernel.distances(kernel.query(queries[qi]), offsets)
+                    part = np.argpartition(dists, top - 1)[:top]
+                    per_query[qi].extend(
+                        (float(dists[i]), int(offsets[i])) for i in part
+                    )
+            else:
+                mask = allowed
+
+                def filter_fn(offset: int) -> bool:
+                    return bool(mask[offset])
+
+                for qi, found in enumerate(
+                    snap.index.topk_search_multi(queries, k, ef=ef, filter_fn=filter_fn)
+                ):
+                    per_query[qi].extend((float(d), int(o)) for o, d in found)
+
+        fresh_offsets = [
+            off for off, record in overlay_last.items() if record.action == UPSERT
+        ]
+        if fresh_offsets:
+            okernel = self._overlay_kernel(overlay_last, fresh_offsets, metric)
+            for qi in range(num_queries):
+                dists = okernel.distances_prefix(
+                    okernel.query(queries[qi]), len(fresh_offsets)
+                )
+                per_query[qi].extend(
+                    (float(d), int(o)) for d, o in zip(dists, fresh_offsets)
+                )
+
+        outputs: list[SegmentSearchOutput] = []
+        for results in per_query:
+            results.sort()
+            results = results[:k]
+            outputs.append(
+                SegmentSearchOutput(
+                    seg_no,
+                    offsets=[o for _, o in results],
+                    distances=[d for d, _ in results],
+                    used_bruteforce=used_bruteforce,
+                )
+            )
+        return outputs
 
     def search_segment_batch(
         self,
@@ -344,18 +443,17 @@ class EmbeddingStore:
         offset_blocks: list[np.ndarray] = []
         offsets = np.flatnonzero(allowed)
         if offsets.size:
-            dist_blocks.append(
-                batch_distances_multi(queries, snap.vectors[offsets], metric)
-            )
+            kernel = snap.kernel(metric)
+            dist_blocks.append(kernel.distances_multi(kernel.queries(queries), offsets))
             offset_blocks.append(offsets)
         fresh_offsets = [
             off for off, record in overlay_last.items() if record.action == UPSERT
         ]
         if fresh_offsets:
-            fresh_vectors = np.stack(
-                [overlay_last[off].vector for off in fresh_offsets]
-            ).astype(np.float32)
-            dist_blocks.append(batch_distances_multi(queries, fresh_vectors, metric))
+            okernel = self._overlay_kernel(overlay_last, fresh_offsets, metric)
+            dist_blocks.append(
+                okernel.distances_multi_prefix(okernel.queries(queries), len(fresh_offsets))
+            )
             offset_blocks.append(np.asarray(fresh_offsets, dtype=np.int64))
 
         num_queries = queries.shape[0]

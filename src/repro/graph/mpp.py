@@ -16,7 +16,7 @@ foreground queries need headroom.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from .segment import SegmentState
@@ -41,6 +41,28 @@ class MPPExecutor:
             )
         return self._pool
 
+    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
+        """Schedule one call on the shared pool (lazy-started)."""
+        return self._ensure_pool().submit(fn, *args, **kwargs)
+
+    def map(
+        self,
+        fn: Callable[[Any], R],
+        items: Iterable[Any],
+        parallel: bool = True,
+    ) -> list[R]:
+        """Run ``fn`` over ``items``, returning results in input order.
+
+        Falls back to a serial loop when parallelism is disabled, the pool
+        is sized for one worker, or there is at most one item — the same
+        dispatch rule every segment-parallel action uses.
+        """
+        items = list(items)
+        if not parallel or len(items) <= 1 or self.max_workers <= 1:
+            return [fn(item) for item in items]
+        futures = [self.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
     def map_segments(
         self,
         fn: Callable[[int, SegmentState], R],
@@ -55,8 +77,7 @@ class MPPExecutor:
         states = [(seg_no, snapshot.segment_state(vertex_type, seg_no)) for seg_no in seg_nos]
         if not parallel or len(states) <= 1 or self.max_workers <= 1:
             return [fn(seg_no, state) for seg_no, state in states]
-        pool = self._ensure_pool()
-        futures = [pool.submit(fn, seg_no, state) for seg_no, state in states]
+        futures = [self.submit(fn, seg_no, state) for seg_no, state in states]
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:

@@ -17,8 +17,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import VectorSearchError
-from ..types import Metric, batch_distances
+from ..types import Metric
 from .interface import IndexStats, SearchResult, VectorIndex
+from .kernels import DistanceKernel
 
 __all__ = ["BruteForceIndex"]
 
@@ -36,6 +37,7 @@ class BruteForceIndex(VectorIndex):
         self._ids = np.empty(0, dtype=np.int64)
         self._id_to_row: dict[int, int] = {}
         self._stats = IndexStats()
+        self._kernel = DistanceKernel(metric, self._vectors, precompute=False)
 
     # ------------------------------------------------------------- storage
     def _grow(self, needed: int) -> None:
@@ -46,6 +48,7 @@ class BruteForceIndex(VectorIndex):
         grown[: len(self._ids)] = self._vectors[: len(self._ids)]
         self._vectors = grown
         self._capacity = new_capacity
+        self._kernel.attach(self._vectors, copy_rows=len(self._ids))
 
     def update_items(self, ids: Sequence[int], vectors: np.ndarray, num_threads: int = 1) -> None:
         vectors = np.asarray(vectors, dtype=np.float32)
@@ -69,6 +72,7 @@ class BruteForceIndex(VectorIndex):
             else:
                 self._stats.num_updates += 1
             self._vectors[row] = vector
+            self._kernel.set_row(row, self._vectors[row])
         self._stats.num_vectors = len(self._id_to_row)
 
     def delete_items(self, ids: Sequence[int]) -> None:
@@ -83,6 +87,7 @@ class BruteForceIndex(VectorIndex):
                 moved_id = int(self._ids[last])
                 self._ids[row] = moved_id
                 self._vectors[row] = self._vectors[last]
+                self._kernel.set_row(row, self._vectors[row])
                 self._id_to_row[moved_id] = row
             self._ids = self._ids[:last]
             self._stats.num_deleted += 1
@@ -108,7 +113,8 @@ class BruteForceIndex(VectorIndex):
         if n == 0:
             return np.empty(0, dtype=np.float32)
         self._stats.num_distance_computations += n
-        return batch_distances(query, self._vectors[:n], self.metric)
+        ctx = self._kernel.query(query)
+        return self._kernel.distances_prefix(ctx, n)
 
     def topk_search(
         self,

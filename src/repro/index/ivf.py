@@ -18,8 +18,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import VectorSearchError
-from ..types import Metric, batch_distances
+from ..types import Metric
 from .interface import IndexStats, SearchResult, VectorIndex
+from .kernels import DistanceKernel
 
 __all__ = ["IVFFlatIndex", "kmeans"]
 
@@ -42,10 +43,11 @@ def kmeans(
     k = min(k, n)
     centroids = vectors[rng.choice(n, size=k, replace=False)].astype(np.float32)
     for _ in range(iterations):
-        # assign
-        sq = np.einsum("ij,ij->i", centroids, centroids)
-        dists = sq[None, :] - 2.0 * (vectors @ centroids.T)
-        assign = np.argmin(dists, axis=1)
+        # assign: one fully vectorized point-vs-centroid matrix through the
+        # shared kernel (L2 regardless of index metric — Lloyd's update
+        # minimizes squared Euclidean distortion).
+        kernel = DistanceKernel.for_matrix(centroids, Metric.L2)
+        assign = np.argmin(kernel.cross(vectors), axis=1)
         # update
         for c in range(k):
             members = vectors[assign == c]
@@ -85,6 +87,8 @@ class IVFFlatIndex(VectorIndex):
         self._id_to_row: dict[int, int] = {}
         self._deleted: set[int] = set()  # row indexes
         self._stats = IndexStats()
+        self._kernel = DistanceKernel(metric, self._vectors, precompute=False)
+        self._centroid_kernel: DistanceKernel | None = None  # L2 over centroids
 
     # ------------------------------------------------------------- training
     @property
@@ -97,11 +101,12 @@ class IVFFlatIndex(VectorIndex):
             vectors, nlist, iterations=self.train_iterations, seed=self.seed
         )
         self._lists = [[] for _ in range(len(self._centroids))]
+        # Coarse quantization is always L2 (nearest centroid), whatever the
+        # in-list metric.
+        self._centroid_kernel = DistanceKernel.for_matrix(self._centroids, Metric.L2)
 
     def _assign(self, vectors: np.ndarray) -> np.ndarray:
-        sq = np.einsum("ij,ij->i", self._centroids, self._centroids)
-        dists = sq[None, :] - 2.0 * (vectors @ self._centroids.T)
-        return np.argmin(dists, axis=1)
+        return np.argmin(self._centroid_kernel.cross(vectors), axis=1)
 
     # ------------------------------------------------------------- updates
     def update_items(self, ids: Sequence[int], vectors: np.ndarray, num_threads: int = 1) -> None:
@@ -117,6 +122,9 @@ class IVFFlatIndex(VectorIndex):
         start_row = len(self._ids)
         self._vectors = np.vstack([self._vectors, vectors])
         self._ids = np.concatenate([self._ids, np.asarray(ids, dtype=np.int64)])
+        self._kernel.attach(self._vectors, copy_rows=start_row)
+        if vectors.shape[0]:
+            self._kernel.set_rows(slice(start_row, start_row + vectors.shape[0]), vectors)
         assignments = self._assign(vectors)
         for offset, (ext_id, centroid) in enumerate(zip(ids, assignments)):
             ext_id = int(ext_id)
@@ -155,7 +163,8 @@ class IVFFlatIndex(VectorIndex):
     # -------------------------------------------------------------- search
     def _probe_rows(self, query: np.ndarray, nprobe: int) -> np.ndarray:
         self._stats.num_distance_computations += len(self._centroids)
-        c_dists = batch_distances(query, self._centroids, Metric.L2)
+        ck = self._centroid_kernel
+        c_dists = ck.distances_prefix(ck.query(query), len(self._centroids))
         nprobe = min(nprobe, len(self._centroids))
         order = np.argpartition(c_dists, nprobe - 1)[:nprobe]
         rows = [r for c in order for r in self._lists[int(c)] if r not in self._deleted]
@@ -185,7 +194,7 @@ class IVFFlatIndex(VectorIndex):
         if rows.size == 0:
             return SearchResult.empty()
         self._stats.num_distance_computations += rows.size
-        dists = batch_distances(query, self._vectors[rows], self.metric)
+        dists = self._kernel.distances(self._kernel.query(query), rows)
         ids = self._ids[rows]
         if filter_fn is not None:
             keep = np.fromiter((filter_fn(int(i)) for i in ids), dtype=bool, count=len(ids))

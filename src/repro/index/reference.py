@@ -1,0 +1,210 @@
+"""Reference (pre-kernel) HNSW search path, kept in-tree as a baseline.
+
+This module preserves the distance math and traversal loop the index used
+before :mod:`repro.index.kernels` existed — L2 via an explicit ``diff``
+matrix and einsum, COSINE recomputing ``sqrt(q·q)`` on every hop, and a
+per-neighbour Python heap loop with no vectorized admission mask.  It exists
+for two reasons:
+
+- ``benchmarks/test_bench_kernels.py`` measures the kernelized
+  :meth:`~repro.index.hnsw.HNSWIndex.topk_search` against this baseline and
+  enforces the ≥1.5× throughput budget (BENCH_kernels.json);
+- the equivalence suite checks that the kernel's distances agree with this
+  straightforward formulation within tolerance.
+
+It searches a live :class:`~repro.index.hnsw.HNSWIndex` *read-only* — graph
+structure, ids, and tombstones are taken from the index; only the distance
+evaluation and the layer-search inner loop differ.  Recall is therefore
+determined by the same graph in both paths, which is what makes the
+benchmark an apples-to-apples kernel comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from ..types import Metric
+from .hnsw import HNSWIndex
+from .interface import IndexStats, SearchResult
+
+__all__ = ["ReferenceKernel", "reference_topk_search"]
+
+
+class ReferenceKernel:
+    """The pre-optimization distance math: no caches, no query context."""
+
+    def __init__(self, metric: Metric, vectors: np.ndarray):
+        self.metric = metric
+        self._vectors = vectors
+        # The old code cached row norms for COSINE (but still recomputed the
+        # query norm every hop); reproduce that exactly.
+        self._norms = np.sqrt(np.einsum("ij,ij->i", vectors, vectors))
+        # The old _dist_to/_dist_one charged the index's cumulative stats on
+        # every call — part of the per-hop cost being benchmarked, kept here
+        # on a scratch stats object so the live index is untouched.
+        self._stats = IndexStats()
+
+    def dist_to(self, query: np.ndarray, rows) -> np.ndarray:
+        vecs = self._vectors[rows]
+        self._stats.num_distance_computations += vecs.shape[0]
+        metric = self.metric
+        if metric is Metric.L2:
+            diff = vecs - query
+            return np.einsum("ij,ij->i", diff, diff)
+        if metric is Metric.IP:
+            return 1.0 - vecs @ query
+        qn = float(np.sqrt(query @ query))
+        if qn == 0.0:
+            return np.ones(vecs.shape[0], dtype=np.float32)
+        denom = self._norms[rows] * qn
+        denom = np.where(denom <= 0.0, 1.0, denom)
+        return 1.0 - (vecs @ query) / denom
+
+    def dist_one(self, query: np.ndarray, row: int) -> float:
+        self._stats.num_distance_computations += 1
+        vec = self._vectors[row]
+        metric = self.metric
+        if metric is Metric.L2:
+            diff = vec - query
+            return float(diff @ diff)
+        if metric is Metric.IP:
+            return float(1.0 - vec @ query)
+        qn = float(np.sqrt(query @ query))
+        denom = float(self._norms[row]) * qn
+        if denom == 0.0:
+            return 1.0
+        return float(1.0 - (vec @ query) / denom)
+
+    def pairwise(self, rows) -> np.ndarray:
+        vecs = self._vectors[rows]
+        metric = self.metric
+        if metric is Metric.L2:
+            sq = np.einsum("ij,ij->i", vecs, vecs)
+            return np.maximum(sq[:, None] + sq[None, :] - 2.0 * (vecs @ vecs.T), 0.0)
+        if metric is Metric.IP:
+            return 1.0 - vecs @ vecs.T
+        norms = self._norms[rows].copy()
+        norms[norms == 0.0] = 1.0
+        return 1.0 - (vecs @ vecs.T) / (norms[:, None] * norms[None, :])
+
+
+def _greedy_descend(
+    index: HNSWIndex, kernel: ReferenceKernel, query: np.ndarray,
+    start_row: int, from_level: int, to_level: int,
+) -> int:
+    current = start_row
+    current_dist = kernel.dist_one(query, current)
+    for level in range(from_level, to_level, -1):
+        improved = True
+        while improved:
+            improved = False
+            neighbors = index._neighbors(current, level)
+            if neighbors.size == 0:
+                continue
+            kernel._stats.num_hops += 1
+            dists = kernel.dist_to(query, neighbors)
+            best = int(np.argmin(dists))
+            if dists[best] < current_dist:
+                current = int(neighbors[best])
+                current_dist = float(dists[best])
+                improved = True
+    return current
+
+
+def _search_layer(
+    index: HNSWIndex, kernel: ReferenceKernel, query: np.ndarray,
+    entry_row: int, ef: int, level: int,
+    collect_filter: Callable[[int], bool] | None,
+    visited: np.ndarray, generation: int,
+) -> list[tuple[float, int]]:
+    """The old per-neighbour layer search: one Python admission per edge."""
+    visited[entry_row] = generation
+    entry_dist = kernel.dist_one(query, entry_row)
+    candidates: list[tuple[float, int]] = [(entry_dist, entry_row)]
+    results: list[tuple[float, int]] = []
+    deleted = index._deleted
+
+    if not deleted[entry_row] and (collect_filter is None or collect_filter(entry_row)):
+        heapq.heappush(results, (-entry_dist, entry_row))
+
+    while candidates:
+        dist, row = heapq.heappop(candidates)
+        if len(results) >= ef and dist > -results[0][0]:
+            break
+        neighbors = index._neighbors(row, level)
+        if neighbors.size:
+            fresh = neighbors[visited[neighbors] != generation]
+        else:
+            fresh = neighbors
+        if fresh.size == 0:
+            continue
+        kernel._stats.num_hops += 1
+        visited[fresh] = generation
+        dists = kernel.dist_to(query, fresh)
+        worst = -results[0][0] if results else np.inf
+        full = len(results) >= ef
+        for n_dist, n_row in zip(dists.tolist(), fresh.tolist()):
+            if not full or n_dist < worst:
+                heapq.heappush(candidates, (n_dist, n_row))
+                if not deleted[n_row] and (
+                    collect_filter is None or collect_filter(n_row)
+                ):
+                    heapq.heappush(results, (-n_dist, n_row))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+                    full = len(results) >= ef
+    return sorted((-d, row) for d, row in results)
+
+
+def reference_topk_search(
+    index: HNSWIndex,
+    query: np.ndarray,
+    k: int,
+    ef: int | None = None,
+    filter_fn: Callable[[int], bool] | None = None,
+    _scratch: dict | None = None,
+) -> SearchResult:
+    """Search ``index`` with the pre-kernel math and inner loop.
+
+    Traverses the same graph as :meth:`HNSWIndex.topk_search` so recall is
+    identical up to floating-point wobble; only the distance evaluation and
+    admission loop are the old formulation.  ``_scratch`` (an empty dict the
+    caller reuses across queries) holds the visited-mark array and the
+    reference kernel so repeated benchmark queries pay the same per-search
+    costs the old index did — not a per-call rebuild.
+    """
+    query = np.asarray(query, dtype=np.float32).reshape(-1)
+    if index._entry_point is None:
+        return SearchResult.empty()
+    ef = max(ef or index.DEFAULT_EF, k)
+    scratch = _scratch if _scratch is not None else {}
+    kernel = scratch.get("kernel")
+    if kernel is None or kernel._vectors is not index._vectors:
+        kernel = ReferenceKernel(index.metric, index._vectors)
+        scratch["kernel"] = kernel
+        scratch["visited"] = np.zeros(index._capacity, dtype=np.int64)
+        scratch["generation"] = 0
+    visited = scratch["visited"]
+    scratch["generation"] += 1
+    generation = scratch["generation"]
+
+    collect = None
+    if filter_fn is not None:
+        ids = index._ids
+
+        def collect(row: int) -> bool:
+            return filter_fn(int(ids[row]))
+
+    entry = _greedy_descend(index, kernel, query, index._entry_point, index._max_level, 0)
+    found = _search_layer(
+        index, kernel, query, entry, ef, 0, collect, visited, generation
+    )
+    top = found[:k]
+    if not top:
+        return SearchResult.empty()
+    dists, rows = zip(*top)
+    return SearchResult(index._ids[list(rows)], np.asarray(dists, dtype=np.float32))

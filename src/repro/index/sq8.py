@@ -14,8 +14,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import VectorSearchError
-from ..types import Metric, batch_distances
+from ..types import Metric
 from .interface import IndexStats, SearchResult, VectorIndex
+from .kernels import DistanceKernel
 
 __all__ = ["SQ8FlatIndex"]
 
@@ -34,6 +35,9 @@ class SQ8FlatIndex(VectorIndex):
         self._lo: np.ndarray | None = None  # per-dimension range, fixed at
         self._scale: np.ndarray | None = None  # first train
         self._stats = IndexStats()
+        #: Kernel over the decoded float32 scratch, rebuilt lazily after any
+        #: code mutation (static binding mode — the decode IS the rebuild).
+        self._scan_kernel: DistanceKernel | None = None
 
     # ----------------------------------------------------------- quantizer
     def _train(self, vectors: np.ndarray) -> None:
@@ -77,6 +81,7 @@ class SQ8FlatIndex(VectorIndex):
             else:
                 self._codes[row] = code
                 self._stats.num_updates += 1
+        self._scan_kernel = None
         self._stats.num_vectors = len(self._id_to_row)
 
     def delete_items(self, ids: Sequence[int]) -> None:
@@ -94,6 +99,7 @@ class SQ8FlatIndex(VectorIndex):
             self._ids = self._ids[:last]
             self._codes = self._codes[:last]
             self._stats.num_deleted += 1
+        self._scan_kernel = None
         self._stats.num_vectors = len(self._id_to_row)
 
     # --------------------------------------------------------------- reads
@@ -125,9 +131,12 @@ class SQ8FlatIndex(VectorIndex):
         if n == 0:
             return SearchResult.empty()
         query = np.asarray(query, dtype=np.float32).reshape(-1)
-        decoded = self._decode(self._codes)
+        kernel = self._scan_kernel
+        if kernel is None:
+            kernel = DistanceKernel.for_matrix(self._decode(self._codes), self.metric)
+            self._scan_kernel = kernel
         self._stats.num_distance_computations += n
-        dists = batch_distances(query, decoded, self.metric)
+        dists = kernel.distances_prefix(kernel.query(query), n)
         ids = self._ids
         if filter_fn is not None:
             keep = np.fromiter((filter_fn(int(i)) for i in ids), dtype=bool, count=n)

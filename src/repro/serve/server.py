@@ -148,28 +148,29 @@ class QueryRequest:
         """Fusion compatibility key; None means unbatchable.
 
         Filtered searches and tenants with restricted roles execute
-        per-request (their validity masks differ per caller), and an
-        explicit ``ef`` requests a specific HNSW accuracy contract the
-        exact fused kernel would silently ignore — so only plain
-        full-access default-``ef`` top-k requests fuse, exactly the shape
-        the fused kernel supports.
+        per-request (their validity masks differ per caller).  Everything
+        else groups by ``(attributes, k, ef)``: default-``ef`` batches run
+        the exact fused scan, and explicit-``ef`` batches run the lockstep
+        fused HNSW kernel (:meth:`HNSWIndex.topk_search_multi` via
+        :meth:`EmbeddingStore.search_segment_multi`), which honours the
+        requested accuracy contract and returns results identical to the
+        per-query path.
         """
         if (
             self.kind != "vector"
             or self.filter is not None
-            or self.ef is not None
             or self.tenant.role != "admin"
         ):
             return None
-        return (self.vector_attributes, self.k)
+        return (self.vector_attributes, self.k, self.ef)
 
     @property
     def cacheable(self) -> bool:
         """Cache eligibility; broader than fusion eligibility.
 
-        Explicit-``ef`` requests never fuse, so their ``ef``-keyed cache
-        entries are only ever produced by the per-query HNSW path — one
-        kernel per key keeps repeated identical requests reproducible.
+        ``ef`` is part of both the fusion key and the cache key, so an
+        ``ef``-keyed entry is always produced at the requested accuracy —
+        by the per-query kernel or the result-identical fused HNSW kernel.
         """
         return (
             self.kind == "vector"
@@ -547,10 +548,13 @@ class QueryServer:
                 self._finish(request, error=exc)
             return
         tel.inc("serve.fused_queries", len(requests))
+        # Distinguish the two fused kernels in cache introspection: the
+        # exact batch scan vs the lockstep fused HNSW traversal.
+        kernel = "fused-hnsw" if leader.ef is not None else "fused"
         evictions = 0
         for (request, key), top in zip(fusable, tops):
             if key is not None and self.cache is not None:
-                evictions += self.cache.put(key, tuple(top), kernel="fused")
+                evictions += self.cache.put(key, tuple(top), kernel=kernel)
             self._finish(
                 request, value=build_topk_vertex_set(top, request.distance_map)
             )

@@ -98,10 +98,12 @@ class TestByteIdentity:
         counters = telemetry.registry.snapshot()["counters"]
         assert counters.get("serve.fused_queries", 0) > 0
 
-    def test_explicit_ef_requests_never_fuse(self, loaded_post_db, rng):
-        """An explicit ef is a per-query HNSW accuracy contract; the exact
-        fused kernel ignores ef, so such requests must execute per-query
-        (and their ef-keyed cache entries stay per-query-produced)."""
+    def test_explicit_ef_requests_fuse_identically(self, loaded_post_db, rng):
+        """An explicit ef is an HNSW accuracy contract; such requests fuse
+        through the lockstep topk_search_multi kernel, which honours ef and
+        must match the per-query path exactly (members AND distances).
+        Their cache entries are tagged with the producing fused-HNSW kernel.
+        """
         db = loaded_post_db
         config = ServeConfig(
             workers=1,
@@ -114,15 +116,34 @@ class TestByteIdentity:
         telemetry = Telemetry()
         with use_telemetry(telemetry), QueryServer(db, config) as server:
             futures = [
-                server.submit_search(["Post.content_emb"], q, 5, ef=64)
+                server.submit_search(
+                    ["Post.content_emb"], q, 5, ef=64, distance_map=MapAccum()
+                )
                 for q in queries
             ]
-            for f in futures:
-                assert f.exception(timeout=30) is None
+            results = [f.result(timeout=30) for f in futures]
             stats = server.cache.stats()
+        for q, got in zip(queries, results):
+            dmap = MapAccum()
+            want = db.vector_search(["Post.content_emb"], q, 5, distance_map=dmap, ef=64)
+            assert members(got) == members(want)
         counters = telemetry.registry.snapshot()["counters"]
-        assert counters.get("serve.fused_queries", 0) == 0
-        assert stats["kernels"] == {"hnsw": len(queries)}
+        assert counters.get("serve.fused_queries", 0) > 0
+        assert stats["kernels"].get("fused-hnsw", 0) > 0
+        assert "hnsw" not in stats["kernels"] or stats["kernels"]["hnsw"] < len(queries)
+
+    def test_explicit_ef_fused_distances_match_per_query(self, loaded_post_db, rng):
+        """db-level check of the same contract without serve-layer timing:
+        the fused explicit-ef batch equals running each query alone."""
+        db = loaded_post_db
+        queries = rng.standard_normal((8, 16)).astype(np.float32)
+        fused = db.vector_search_batch(
+            ["Post.content_emb"], queries, 5, ef=64, min_fused=2
+        )
+        for q, got in zip(queries, fused):
+            dmap = MapAccum()
+            want = db.vector_search(["Post.content_emb"], q, 5, distance_map=dmap, ef=64)
+            assert members(got) == members(want)
 
     def test_db_vector_search_batch_equals_per_query(self, loaded_post_db, rng):
         db = loaded_post_db
