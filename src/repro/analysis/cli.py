@@ -86,11 +86,17 @@ def _cmd_lint(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     if args.format == "json":
+        def item(finding: Finding, suppressed: bool) -> dict:
+            payload = finding.as_dict()
+            payload["rule_id"] = payload["rule"]
+            payload["suppressed"] = suppressed
+            return payload
+
         print(
             json.dumps(
                 {
-                    "findings": [f.as_dict() for f in result.findings],
-                    "suppressed": [f.as_dict() for f in result.suppressed],
+                    "findings": [item(f, False) for f in result.findings],
+                    "suppressed": [item(f, True) for f in result.suppressed],
                     "files": result.files,
                     "errors": result.errors,
                 },
@@ -108,7 +114,72 @@ def _cmd_lint(args) -> int:
         )
     if result.errors:
         return 2
-    return 1 if result.findings else 0
+    if result.findings:
+        return 1
+    if args.max_noqa is not None and len(result.suppressed) > args.max_noqa:
+        print(
+            f"repro-lint: suppression budget exceeded: {len(result.suppressed)} "
+            f"noqa suppression(s) > --max-noqa {args.max_noqa}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    # Lazy import: scenarios pulls in repro.core, which repro.analysis must
+    # not import at package-import time (the linter runs on foreign trees).
+    from . import explore, scenarios
+    from .schedules import PCTSchedule, RandomSchedule
+
+    if args.list:
+        for spec in scenarios.MATRIX:
+            kind, *budget = spec.strategy
+            expect = "must-find" if spec.expect_failure else "must-stay-clean"
+            print(f"{spec.name}  [{kind} {'x'.join(map(str, budget))}]  {expect}")
+        return 0
+
+    specs = scenarios.MATRIX
+    if args.scenario:
+        known = {spec.name: spec for spec in scenarios.MATRIX}
+        missing = [name for name in args.scenario if name not in known]
+        if missing:
+            print(f"unknown scenario(s): {', '.join(missing)}", file=sys.stderr)
+            return 2
+        specs = [known[name] for name in args.scenario]
+
+    failures = 0
+    for spec in specs:
+        if spec.strategy[0] == "exhaustive":
+            result = explore.explore_exhaustive(
+                spec.factory,
+                max_decisions=spec.strategy[1],
+                max_schedules=spec.strategy[2],
+            )
+        else:
+            make = RandomSchedule if spec.strategy[0] == "random" else PCTSchedule
+            result = explore.explore_random(
+                spec.factory, seeds=range(spec.strategy[1]), make_schedule=make
+            )
+        expected = result.found == spec.expect_failure
+        verdict = "ok" if expected else "UNEXPECTED"
+        detail = "found" if result.found else "clean"
+        print(
+            f"{spec.name}: {detail} after {result.schedules_run} schedule(s) "
+            f"[{verdict}]"
+        )
+        if not expected:
+            failures += 1
+            if result.failure is not None:
+                print(f"  {result.failure.failure_kind}: {result.failure.failure}")
+                print(f"  seed: {result.seed}")
+                print(f"  replay choices: {result.failure.choices}")
+            else:
+                print(
+                    "  expected this scenario's planted bug to be found within "
+                    "budget; it was not — the explorer lost coverage"
+                )
+    return 1 if failures else 0
 
 
 def _cmd_rules(_args) -> int:
@@ -132,7 +203,29 @@ def main(argv=None) -> int:
     lint.add_argument(
         "--select", default=None, help="comma-separated rule ids (default: all)"
     )
+    lint.add_argument(
+        "--max-noqa",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail (exit 1) when more than N findings are noqa-suppressed",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    explore = sub.add_parser(
+        "explore",
+        help="run the schedule-exploration scenario matrix (concurrency checker)",
+    )
+    explore.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="run only this scenario (repeatable; default: full matrix)",
+    )
+    explore.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    explore.set_defaults(func=_cmd_explore)
 
     rules = sub.add_parser("rules", help="print the rule catalog")
     rules.set_defaults(func=_cmd_rules)

@@ -1,0 +1,53 @@
+"""Cooperative yield points for the interleaving explorer.
+
+Production modules call :func:`schedule_point` at the concurrency-sensitive
+transitions the paper's correctness story hinges on (commit publication,
+snapshot pinning, watermark reads, cache get/put, HNSW insert/save).  With
+no controller installed this is a module-global ``None`` check — cheap
+enough to leave in the hot paths permanently, like the sanitizer's lock
+instrumentation.
+
+When :mod:`repro.analysis.explore` installs a controller, every call from a
+*controlled* thread becomes a cooperative yield: the thread parks and the
+scheduler decides who runs next.  Calls from uncontrolled threads (pytest's
+main thread, background vacuum) always pass straight through, so a
+controller installed by one test cannot perturb unrelated code.
+
+This module deliberately imports nothing from the rest of ``repro`` so the
+core packages can import it without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["schedule_point", "active", "install", "uninstall"]
+
+#: The installed scheduler, or None (the common case).  Writes are rare and
+#: happen-before worker threads start, so a plain global read suffices.
+_controller = None
+
+
+def active():
+    """The installed controller, or None when no exploration is running."""
+    return _controller
+
+
+def install(controller) -> None:
+    """Install ``controller`` as the process-wide schedule-point sink."""
+    global _controller
+    _controller = controller
+
+
+def uninstall() -> None:
+    global _controller
+    _controller = None
+
+
+def schedule_point(name: str) -> None:
+    """Mark a concurrency-sensitive program point.
+
+    No-op unless an explorer controller is installed *and* the calling
+    thread is one of its controlled workers.
+    """
+    controller = _controller
+    if controller is not None:
+        controller.schedule_point(name)

@@ -18,6 +18,14 @@ Rule catalog
 - **R005** float ``==``/``!=`` on distances or scores
 - **R006** bare ``except:`` / silent ``except Exception: pass``
 - **R007** mutable default arguments
+- **R008** watermark read before snapshot pin without ``watermark_tid``
+  validation (the commit-publication race class)
+- **R009** lock ``.acquire()`` without a ``try``/``finally`` release
+- **R010** thread created without ``daemon=`` and never joined
+- **R011** raising bare ``Exception``/``RuntimeError`` instead of a
+  :class:`~repro.errors.ReproError` subclass
+- **R012** telemetry instrument name missing from the catalog
+  (``repro.telemetry.instruments.INSTRUMENTS``)
 """
 
 from __future__ import annotations
@@ -740,4 +748,311 @@ class MutableDefaultArgument(Rule):
                             "inside the body",
                         )
                     )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R008
+# --------------------------------------------------------------------------
+
+
+@register
+class WatermarkBeforeSnapshotUnvalidated(Rule):
+    """Watermark read before snapshot pin without watermark_tid validation.
+
+    Reading a store watermark and *then* pinning a snapshot is the
+    cache-key idiom from ``repro.serve`` — and it races with commit
+    publication: the embedding hooks bump watermark components before
+    ``last_tid`` is published, so the pinned snapshot can be older than
+    the watermark claims.  Any function that does the sequence must
+    compare :meth:`EmbeddingStore.watermark_tid` against the snapshot's
+    TID before trusting (in particular caching) the result.
+    """
+
+    rule_id = "R008"
+    title = "watermark read before snapshot pin without watermark_tid validation"
+    paper_ref = "Sec. 4.3 (snapshot-pinned reads vs. commit publication)"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            watermark_line: int | None = None
+            snapshot_line: int | None = None
+            validated = False
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                    if sub.func.attr == "watermark" and (
+                        watermark_line is None or sub.lineno < watermark_line
+                    ):
+                        watermark_line = sub.lineno
+                    elif sub.func.attr == "snapshot" and (
+                        snapshot_line is None or sub.lineno > snapshot_line
+                    ):
+                        snapshot_line = sub.lineno
+                if isinstance(sub, ast.Attribute) and sub.attr == "watermark_tid":
+                    validated = True
+                elif isinstance(sub, ast.Name) and sub.id == "watermark_tid":
+                    validated = True
+            if (
+                watermark_line is not None
+                and snapshot_line is not None
+                and watermark_line < snapshot_line
+                and not validated
+            ):
+                findings.append(
+                    Finding(
+                        module.path,
+                        snapshot_line,
+                        self.rule_id,
+                        f"'{node.name}' reads a watermark (line "
+                        f"{watermark_line}) then pins a snapshot without "
+                        "validating watermark_tid against the snapshot TID; "
+                        "a mid-publication commit makes the snapshot older "
+                        "than the watermark claims (serve cache-poisoning "
+                        "race)",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R009
+# --------------------------------------------------------------------------
+
+_R009_EXEMPT_FUNCS = {"acquire", "release", "__enter__", "__exit__", "locked"}
+
+_R009_RECEIVER_PAT = re.compile(r"lock|mutex", re.IGNORECASE)
+
+
+@register
+class AcquireWithoutTryFinally(Rule):
+    """Blocking ``lock.acquire()`` with no ``try``/``finally`` release.
+
+    An exception between acquire and release leaks the lock and deadlocks
+    every later acquirer (including the vacuum).  ``with lock:`` is the
+    preferred form; explicit acquire must be paired with a ``finally:``
+    release on the same receiver.  Non-blocking ``acquire(False)`` probes
+    are exempt — their failure path holds nothing.
+    """
+
+    rule_id = "R009"
+    title = "lock.acquire() without try/finally release"
+    paper_ref = "general hygiene (lock leaks stall commits and the vacuum)"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in _R009_EXEMPT_FUNCS:
+                continue
+            released: set[str] = set()
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Try):
+                    for stmt in sub.finalbody:
+                        for call in ast.walk(stmt):
+                            if (
+                                isinstance(call, ast.Call)
+                                and isinstance(call.func, ast.Attribute)
+                                and call.func.attr == "release"
+                            ):
+                                name = _dotted_name(call.func.value)
+                                if name is not None:
+                                    released.add(name)
+            for sub in ast.walk(node):
+                if not (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "acquire"
+                ):
+                    continue
+                if sub.args or sub.keywords:  # non-blocking / timeout probe
+                    continue
+                receiver = _dotted_name(sub.func.value)
+                if receiver is None:
+                    continue
+                leaf = receiver.split(".")[-1]
+                if not _R009_RECEIVER_PAT.search(leaf):
+                    continue
+                if receiver in released:
+                    continue
+                findings.append(
+                    Finding(
+                        module.path,
+                        sub.lineno,
+                        self.rule_id,
+                        f"'{receiver}.acquire()' in '{node.name}' has no "
+                        "try/finally release; an exception before release "
+                        "leaks the lock — use 'with' or pair with "
+                        f"'finally: {receiver}.release()'",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R010
+# --------------------------------------------------------------------------
+
+
+@register
+class ThreadWithoutDaemonOrJoin(Rule):
+    """``threading.Thread`` created without ``daemon=`` and never joined.
+
+    A non-daemon thread that is never joined keeps the process alive after
+    main exits (hangs test runs and the CLI); either mark it ``daemon=``
+    explicitly or join it in the enclosing scope.
+    """
+
+    rule_id = "R010"
+    title = "Thread without daemon= and without a tracked join"
+    paper_ref = "general hygiene (background vacuum/serve thread lifecycle)"
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            joins = any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "join"
+                for sub in ast.walk(node)
+            )
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = _dotted_name(sub.func)
+                if name is None or name.split(".")[-1] != "Thread":
+                    continue
+                if any(kw.arg == "daemon" for kw in sub.keywords):
+                    continue
+                if joins:
+                    continue
+                findings.append(
+                    Finding(
+                        module.path,
+                        sub.lineno,
+                        self.rule_id,
+                        f"Thread created in '{node.name}' without daemon= "
+                        "and the function never joins; an unjoined "
+                        "non-daemon thread keeps the process alive after "
+                        "main exits",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R011
+# --------------------------------------------------------------------------
+
+_R011_GENERIC = {"Exception", "RuntimeError"}
+
+
+@register
+class GenericExceptionRaised(Rule):
+    """``raise Exception``/``RuntimeError`` in repro code.
+
+    Callers (the GSQL layer, the server's typed-failure path, tests)
+    dispatch on :class:`~repro.errors.ReproError` subclasses; a generic
+    exception escapes that taxonomy and turns a typed failure into a 500.
+    """
+
+    rule_id = "R011"
+    title = "generic Exception/RuntimeError raised instead of a ReproError"
+    paper_ref = "general hygiene (typed failures; serve error taxonomy)"
+
+    def _applies(self, module: ModuleInfo) -> bool:
+        path = module.posix_path
+        return "repro/" in path or path.startswith("repro")
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        if not self._applies(module):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call):
+                name = _dotted_name(exc.func)
+            else:
+                name = _dotted_name(exc)
+            if name in _R011_GENERIC:
+                findings.append(
+                    Finding(
+                        module.path,
+                        node.lineno,
+                        self.rule_id,
+                        f"raise {name} in repro code; raise a ReproError "
+                        "subclass from repro.errors so callers can dispatch "
+                        "on the failure type",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------
+# R012
+# --------------------------------------------------------------------------
+
+_R012_METHODS = {"inc", "observe", "set_gauge", "counter", "gauge", "histogram"}
+
+
+@register
+class UnknownInstrumentName(Rule):
+    """Telemetry instrument name absent from the canonical catalog.
+
+    The catalog (``repro.telemetry.instruments.INSTRUMENTS``) is the one
+    source of truth for dashboards and bucket presets; an uncatalogued
+    name silently gets default latency buckets and never shows up in the
+    stats CLI's descriptions.
+    """
+
+    rule_id = "R012"
+    title = "telemetry instrument name missing from the INSTRUMENTS catalog"
+    paper_ref = "general hygiene (observability catalog drift)"
+
+    def __init__(self):
+        try:
+            from ..telemetry.instruments import INSTRUMENTS
+
+            self._catalog = frozenset(INSTRUMENTS)
+        except Exception:  # repro: noqa[R006] -- catalog optional when linting foreign trees
+            self._catalog = None
+
+    def visit_module(self, module: ModuleInfo) -> list[Finding]:
+        if self._catalog is None or module.posix_path.endswith("instruments.py"):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _R012_METHODS
+            ):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            name = first.value
+            if "." not in name or name in self._catalog:
+                continue
+            findings.append(
+                Finding(
+                    module.path,
+                    node.lineno,
+                    self.rule_id,
+                    f"instrument '{name}' is not in the INSTRUMENTS catalog "
+                    "(repro/telemetry/instruments.py); add it there so "
+                    "bucket presets and repro-stats descriptions cover it",
+                )
+            )
         return findings

@@ -33,6 +33,7 @@ import threading
 import traceback
 from dataclasses import dataclass, field
 
+from . import hooks
 from .lockgraph import LockOrderGraph
 
 __all__ = [
@@ -42,7 +43,10 @@ __all__ = [
     "enabled",
     "patch_locks",
     "unpatch_locks",
+    "is_patched",
     "reset",
+    "set_context",
+    "current_context",
     "violations",
     "counters",
     "format_report",
@@ -72,9 +76,14 @@ class Violation:
     kind: str  # "lock-order-inversion" | "held-across-commit"
     message: str
     stack: str = ""
+    #: What was running when the violation fired (the pytest test id when
+    #: run under the conftest fixture); "" outside any recorded context.
+    context: str = ""
 
     def render(self) -> str:
         out = f"[{self.kind}] {self.message}"
+        if self.context:
+            out += f"\n    triggered by: {self.context}"
         if self.stack:
             out += f"\n{self.stack}"
         return out
@@ -91,6 +100,7 @@ class _State:
         self.locks_created = 0
         self.acquisitions = 0
         self.local = threading.local()
+        self.context: str | None = None
 
     def held(self) -> list:
         held = getattr(self.local, "held", None)
@@ -138,6 +148,21 @@ def _is_commit_lock(name: str) -> bool:
     return bool(_COMMIT_PAT.search(name))
 
 
+def set_context(context: str | None) -> None:
+    """Attribute subsequent violations to ``context`` (e.g. a pytest id).
+
+    The conftest sets this per test so a session-end report can say which
+    test actually produced each violation; ``None`` clears it.
+    """
+    with _state.mutex:
+        _state.context = context
+
+
+def current_context() -> str | None:
+    with _state.mutex:
+        return _state.context
+
+
 def _record_acquire(lock: "SanitizedLock", held: list) -> None:
     """Record ordering edges and check invariants BEFORE blocking."""
     with _state.mutex:
@@ -162,6 +187,7 @@ def _record_acquire(lock: "SanitizedLock", held: list) -> None:
                                 f"inverts the established order ({chain})"
                             ),
                             stack=_short_stack(),
+                            context=_state.context or "",
                         )
                     )
         if _is_commit_lock(lock.name) and any(
@@ -180,6 +206,7 @@ def _record_acquire(lock: "SanitizedLock", held: list) -> None:
                             "inside other critical sections"
                         ),
                         stack=_short_stack(),
+                        context=_state.context or "",
                     )
                 )
 
@@ -201,7 +228,16 @@ class SanitizedLock:
         if not any(h is self for h in held):
             # Reentrant re-acquisition of the same instance adds no ordering.
             _record_acquire(self, held)
-        acquired = self._inner.acquire(blocking, timeout)
+        controller = hooks.active()
+        acquired = None
+        if controller is not None:
+            # Under the interleaving explorer a controlled worker's acquire
+            # becomes a cooperative yield; uncontrolled threads fall through.
+            acquired = controller.try_controlled_acquire(
+                self._inner, self.name, blocking
+            )
+        if acquired is None:
+            acquired = self._inner.acquire(blocking, timeout)
         if acquired:
             held.append(self)
         return acquired
@@ -213,6 +249,9 @@ class SanitizedLock:
             if held[i] is self:
                 del held[i]
                 break
+        controller = hooks.active()
+        if controller is not None:
+            controller.notify_release(self._inner, self.name)
 
     def __enter__(self) -> "SanitizedLock":
         self.acquire()
@@ -280,6 +319,11 @@ def unpatch_locks() -> None:
     threading.Lock = _REAL_LOCK
     threading.RLock = _REAL_RLOCK
     _patched = False
+
+
+def is_patched() -> bool:
+    """True while the lock constructors are routed through the sanitizer."""
+    return _patched
 
 
 def reset() -> None:

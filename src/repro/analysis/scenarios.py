@@ -1,0 +1,387 @@
+"""Canned concurrency scenarios for the interleaving explorer.
+
+Each scenario packages one cross-thread interaction the paper's
+correctness story depends on (PAPER.md Sec. 4.3/4.5) into a
+:class:`~repro.analysis.explore.Scenario`: deterministic setup, two
+controlled workers, and a post-join invariant check.  ``MATRIX`` lists
+the scenarios with the exploration strategy and *expected* outcome —
+the intentionally-broken variants (the PR 4 cache race with its fix
+disabled, the toy lost update) must be *found* within their budget,
+which keeps the explorer itself honest in CI.
+
+Scenario state must only share :class:`~.sanitizer.SanitizedLock`-guarded
+structures between workers: the explorer can only deschedule a worker at
+instrumented points, and a controlled worker blocking on an *uninstrumented*
+primitive stalls the scheduler.  Production ``repro`` locks are instrumented
+by ``patch_locks`` (run_schedule ensures it); toy scenarios instantiate
+``SanitizedLock`` directly because ``repro/analysis/`` itself is exempt
+from patching.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .. import Attribute, AttrType, Metric, TigerVectorDB
+from ..core.search import vector_search_merged
+from ..core.service import EmbeddingStore
+from ..index.hnsw import HNSWIndex
+from ..serve.cache import ResultCache
+from ..serve.batcher import MicroBatcher
+from ..serve.tenancy import TenantRegistry, WeightedFairQueue
+from .explore import Scenario
+from .hooks import schedule_point
+from .sanitizer import SanitizedLock
+
+__all__ = ["MATRIX", "ScenarioSpec", "scenario_names", "make_scenario"]
+
+
+class _Box:
+    """Attribute bag for scenario state."""
+
+
+# --------------------------------------------------------------------------
+# toy lost update — the explorer's own regression fixture
+# --------------------------------------------------------------------------
+
+
+class LostUpdateScenario(Scenario):
+    """Two workers increment a shared counter; the broken variant reads the
+    current value *outside* the lock (classic lost update)."""
+
+    threads = 2
+    description = "toy read-modify-write; broken variant reads outside the lock"
+
+    def __init__(self, guarded: bool = False):
+        self.guarded = guarded
+        self.name = "lost-update-guarded" if guarded else "lost-update"
+
+    def setup(self):
+        state = _Box()
+        state.lock = SanitizedLock(name="toy.counter.lock")
+        state.value = 0
+        return state
+
+    def worker(self, state, index: int) -> None:
+        if self.guarded:
+            with state.lock:
+                observed = state.value
+                schedule_point("toy.read")
+                state.value = observed + 1
+        else:
+            observed = state.value
+            schedule_point("toy.read")
+            with state.lock:
+                state.value = observed + 1
+
+    def check(self, state) -> None:
+        assert state.value == self.threads, (
+            f"lost update: {self.threads} increments produced {state.value}"
+        )
+
+
+# --------------------------------------------------------------------------
+# commit vs cached search — the PR 4 watermark/commit cache-poisoning race
+# --------------------------------------------------------------------------
+
+_ATTR = "Doc.vec"
+_DIM = 4
+_K = 2
+
+
+def _make_doc_db(num_docs: int = 6) -> TigerVectorDB:
+    db = TigerVectorDB(segment_size=8)
+    db.schema.create_vertex_type(
+        "Doc", [Attribute("id", AttrType.INT, primary_key=True)]
+    )
+    db.schema.add_embedding_attribute(
+        "Doc", "vec", dimension=_DIM, model="GPT4", metric=Metric.L2
+    )
+    # Well-separated deterministic vectors: doc i sits at 10*(i+1) on axis
+    # i % dim, so every pairwise distance is large and ties are impossible.
+    with db.begin() as txn:
+        for i in range(num_docs):
+            txn.upsert_vertex("Doc", i, {})
+            vec = np.zeros(_DIM, dtype=np.float32)
+            vec[i % _DIM] = 10.0 * (i + 1)
+            txn.set_embedding("Doc", i, "vec", vec)
+    return db
+
+
+def _search(db, query: np.ndarray, k: int = _K) -> tuple:
+    with db.snapshot() as snapshot:
+        return tuple(vector_search_merged(db.service, snapshot, [_ATTR], query, k))
+
+
+class CommitVsCachedSearch(Scenario):
+    """A commit racing a cache-filling search worker.
+
+    Worker 0 commits a new embedding for doc 0 that becomes the query's
+    nearest neighbor.  Worker 1 mimics the serve worker's cache path:
+    read watermarks, probe the cache, pin a snapshot, search, cache.
+
+    With ``validate=False`` (the PR 4 fix reverted) there is an
+    interleaving — commit past its embedding hook but before publishing
+    ``last_tid`` — where worker 1 reads a post-commit watermark, pins a
+    pre-commit snapshot, and caches the stale top-k under the post-commit
+    key.  ``check`` then finds a poisoned hit for a fresh watermark.
+    With ``validate=True`` (the shipped server logic: serve but don't
+    cache when ``watermark_tid(mark) > snapshot.tid``) every interleaving
+    must pass.
+    """
+
+    threads = 2
+    description = "commit vs watermark-keyed cached search (PR 4 race)"
+
+    def __init__(self, validate: bool = True):
+        self.validate = validate
+        self.name = (
+            "commit-vs-cached-search"
+            if validate
+            else "commit-vs-cached-search-unvalidated"
+        )
+
+    def setup(self):
+        state = _Box()
+        state.db = _make_doc_db()
+        state.db.vacuum(num_threads=1)
+        state.cache = ResultCache()
+        state.query = np.zeros(_DIM, dtype=np.float32)
+        state.query[0] = 100.0
+        state.new_vector = np.zeros(_DIM, dtype=np.float32)
+        state.new_vector[0] = 99.0  # post-commit nearest neighbor for query
+        return state
+
+    def worker(self, state, index: int) -> None:
+        if index == 0:
+            with state.db.begin() as txn:
+                txn.set_embedding("Doc", 0, "vec", state.new_vector)
+            return
+        # Serve-worker cache path (see QueryServer._execute_vector).
+        store = state.db.service.store("Doc", "vec")
+        mark = store.watermark()
+        key = ResultCache.key([_ATTR], state.query, _K, None, (mark,))
+        if state.cache.get(key) is not None:
+            return
+        with state.db.snapshot() as snapshot:
+            top = tuple(
+                vector_search_merged(
+                    state.db.service, snapshot, [_ATTR], state.query, _K
+                )
+            )
+            if self.validate and EmbeddingStore.watermark_tid(mark) > snapshot.tid:
+                return  # commit mid-publication: serve without caching
+            state.cache.put(key, top)
+
+    def check(self, state) -> None:
+        store = state.db.service.store("Doc", "vec")
+        fresh_mark = store.watermark()
+        key = ResultCache.key([_ATTR], state.query, _K, None, (fresh_mark,))
+        hit = state.cache.get(key)
+        if hit is None:
+            return
+        truth = _search(state.db, state.query)
+        hit_ids = [(vtype, vid) for _, vtype, vid in hit]
+        truth_ids = [(vtype, vid) for _, vtype, vid in truth]
+        assert hit_ids == truth_ids, (
+            "cache poisoned: stale top-k cached under a post-commit "
+            f"watermark key (cached {hit_ids}, fresh snapshot {truth_ids})"
+        )
+
+    def teardown(self, state) -> None:
+        state.db.close()
+
+
+# --------------------------------------------------------------------------
+# vacuum delta_merge vs search
+# --------------------------------------------------------------------------
+
+
+class VacuumVsSearch(Scenario):
+    """A full vacuum (delta merge + index merge) racing a snapshot search.
+
+    The two-stage vacuum moves committed deltas into segment snapshots and
+    rebuilds indexes, but never changes logical content: whatever snapshot
+    the reader pins, its top-k ids must equal the pre-vacuum ground truth.
+    """
+
+    name = "vacuum-vs-search"
+    threads = 2
+    description = "two-stage vacuum vs snapshot-pinned search"
+
+    def setup(self):
+        state = _Box()
+        state.db = _make_doc_db(num_docs=10)  # deltas left unmerged
+        state.query = np.zeros(_DIM, dtype=np.float32)
+        state.query[1] = 25.0
+        state.truth_ids = [
+            (vtype, vid) for _, vtype, vid in _search(state.db, state.query, k=3)
+        ]
+        state.result_ids = None
+        return state
+
+    def worker(self, state, index: int) -> None:
+        if index == 0:
+            state.db.vacuum(num_threads=1)
+            return
+        with state.db.snapshot() as snapshot:
+            top = vector_search_merged(
+                state.db.service, snapshot, [_ATTR], state.query, 3
+            )
+        state.result_ids = [(vtype, vid) for _, vtype, vid in top]
+
+    def check(self, state) -> None:
+        assert state.result_ids == state.truth_ids, (
+            "vacuum changed logical search content: "
+            f"{state.result_ids} != {state.truth_ids}"
+        )
+
+    def teardown(self, state) -> None:
+        state.db.close()
+
+
+# --------------------------------------------------------------------------
+# concurrent HNSW insert vs save
+# --------------------------------------------------------------------------
+
+
+class HnswInsertVsSave(Scenario):
+    """Inserts racing a persistence snapshot.
+
+    ``save`` deep-copies under ``_write_lock``; whatever interleaving
+    runs, the saved file must load into a structurally valid index whose
+    count is one of the states the insert sequence passed through.
+    """
+
+    name = "hnsw-insert-vs-save"
+    threads = 2
+    description = "HNSW update_items vs save/load round-trip"
+
+    def setup(self):
+        state = _Box()
+        state.index = HNSWIndex(dim=_DIM, M=4, ef_construction=16, seed=7)
+        rng = np.random.default_rng(11)
+        base = rng.standard_normal((6, _DIM)).astype(np.float32)
+        state.index.update_items(range(6), base, num_threads=1)
+        state.extra = rng.standard_normal((3, _DIM)).astype(np.float32)
+        state.dir = Path(tempfile.mkdtemp(prefix="repro-explore-"))
+        state.path = state.dir / "hnsw.idx"
+        return state
+
+    def worker(self, state, index: int) -> None:
+        if index == 0:
+            state.index.update_items([6, 7, 8], state.extra, num_threads=1)
+            return
+        state.index.save(state.path)
+
+    def check(self, state) -> None:
+        loaded = HNSWIndex.load(state.path)
+        count = loaded.stats.num_vectors
+        assert 6 <= count <= 9, f"torn save: loaded count {count}"
+        result = loaded.topk_search(state.extra[0], k=3)
+        assert len(result.ids) == 3
+
+    def teardown(self, state) -> None:
+        shutil.rmtree(state.dir, ignore_errors=True)
+
+
+# --------------------------------------------------------------------------
+# batcher enqueue vs window close
+# --------------------------------------------------------------------------
+
+
+class _BatchReq:
+    """Minimal batchable request (compare serve/server._Request)."""
+
+    def __init__(self, rid: int):
+        self.rid = rid
+
+    def batch_key(self):
+        return (_ATTR, _K, None)
+
+
+class BatcherVsWindowClose(Scenario):
+    """Enqueues racing a leader's batch-collection window.
+
+    Whatever the interleaving, conservation must hold: every request ends
+    up either in the collected batch or still queued — none lost, none
+    duplicated — and the batch never exceeds ``max_batch``.
+    """
+
+    name = "batcher-vs-window"
+    threads = 2
+    description = "batcher enqueue vs collection-window close"
+
+    def setup(self):
+        state = _Box()
+        state.queue = WeightedFairQueue(TenantRegistry())
+        state.batcher = MicroBatcher(state.queue, window_seconds=0.2, max_batch=4)
+        state.requests = [_BatchReq(i) for i in range(4)]
+        state.batch = []
+        return state
+
+    def worker(self, state, index: int) -> None:
+        if index == 0:
+            for request in state.requests:
+                state.queue.put(request, "default")
+                schedule_point("batcher.enqueued")
+            return
+        leader = state.queue.take(timeout=0.05)
+        if leader is None:
+            return
+        state.batch = state.batcher.collect(leader)
+
+    def check(self, state) -> None:
+        drained = state.queue.drain_matching(lambda _request: True, 16)
+        seen = [r.rid for r in state.batch] + [r.rid for r in drained]
+        assert sorted(seen) == [r.rid for r in state.requests], (
+            f"requests lost or duplicated across batch/queue: {sorted(seen)}"
+        )
+        assert len(state.batch) <= state.batcher.max_batch
+
+
+# --------------------------------------------------------------------------
+# the CI matrix
+# --------------------------------------------------------------------------
+
+
+class ScenarioSpec:
+    """One row of the exploration matrix.
+
+    ``strategy`` is ``("exhaustive", max_decisions, max_schedules)`` or
+    ``("pct", num_seeds)`` / ``("random", num_seeds)``; ``expect_failure``
+    flips the CI assertion — broken-by-construction scenarios must be
+    *found* within budget, fixed ones must stay clean.
+    """
+
+    def __init__(self, factory, strategy: tuple, expect_failure: bool):
+        self.factory = factory
+        self.strategy = strategy
+        self.expect_failure = expect_failure
+        self.name = factory().name
+
+
+MATRIX: list[ScenarioSpec] = [
+    ScenarioSpec(lambda: LostUpdateScenario(guarded=False), ("exhaustive", 8, 64), True),
+    ScenarioSpec(lambda: LostUpdateScenario(guarded=True), ("exhaustive", 8, 64), False),
+    ScenarioSpec(lambda: CommitVsCachedSearch(validate=False), ("pct", 256), True),
+    ScenarioSpec(lambda: CommitVsCachedSearch(validate=True), ("pct", 64), False),
+    ScenarioSpec(lambda: VacuumVsSearch(), ("pct", 12), False),
+    ScenarioSpec(lambda: HnswInsertVsSave(), ("pct", 12), False),
+    ScenarioSpec(lambda: BatcherVsWindowClose(), ("random", 8), False),
+]
+
+
+def scenario_names() -> list[str]:
+    return [spec.name for spec in MATRIX]
+
+
+def make_scenario(name: str) -> Scenario:
+    for spec in MATRIX:
+        if spec.name == name:
+            return spec.factory()
+    raise KeyError(f"unknown scenario {name!r} (known: {', '.join(scenario_names())})")

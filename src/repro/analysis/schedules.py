@@ -1,0 +1,114 @@
+"""Schedule encodings for the interleaving explorer.
+
+A *schedule* answers one question, repeatedly: given the set of runnable
+worker indices at a decision point, which worker runs next?  Decisions are
+only consulted when more than one worker is runnable, so the recorded
+choice sequence is exactly the branching structure of the run — replaying
+the same choices against the same scenario reproduces the interleaving
+byte-identically (scenarios are deterministic modulo schedule).
+
+Three encodings:
+
+- :class:`ReplaySchedule` — follow a recorded choice list, then fall back
+  to the lowest runnable index.  The empty choice list is the canonical
+  "run thread 0 as far as possible" schedule, and the DFS driver in
+  :mod:`~repro.analysis.explore` enumerates prefixes of these.
+- :class:`RandomSchedule` — uniform choice from a seeded PRNG.
+- :class:`PCTSchedule` — the PCT bug-depth sampler (Burckhardt et al.):
+  random per-worker priorities, run the highest-priority runnable worker,
+  and demote the running worker at ``depth - 1`` pre-sampled step indices.
+  Finds depth-``d`` bugs with probability >= 1/(n * k^(d-1)) per schedule.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["Schedule", "ReplaySchedule", "RandomSchedule", "PCTSchedule"]
+
+
+class Schedule:
+    """Base class: pick a worker index from the runnable set."""
+
+    label = "schedule"
+
+    def pick(self, runnable: tuple[int, ...], decision_index: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.label
+
+
+class ReplaySchedule(Schedule):
+    """Follow ``choices`` verbatim; afterwards run the lowest runnable index.
+
+    A choice that is not currently runnable (the replayed run diverged,
+    which only happens when the scenario itself changed) falls back to the
+    lowest runnable index rather than failing, so stale traces degrade to
+    an ordinary deterministic schedule.
+    """
+
+    label = "replay"
+
+    def __init__(self, choices=()):
+        self.choices = tuple(choices)
+
+    def pick(self, runnable: tuple[int, ...], decision_index: int) -> int:
+        if decision_index < len(self.choices):
+            wanted = self.choices[decision_index]
+            if wanted in runnable:
+                return wanted
+        return min(runnable)
+
+    def describe(self) -> str:
+        return f"replay{list(self.choices)}"
+
+
+class RandomSchedule(Schedule):
+    """Uniform random choice from a seeded PRNG — reproducible per seed."""
+
+    label = "random"
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: tuple[int, ...], decision_index: int) -> int:
+        return self._rng.choice(runnable)
+
+    def describe(self) -> str:
+        return f"random(seed={self.seed})"
+
+
+class PCTSchedule(Schedule):
+    """Priority-based probabilistic concurrency testing.
+
+    Workers get distinct random priorities; the highest-priority runnable
+    worker always runs.  At ``depth - 1`` change points (step indices
+    sampled from ``[0, max_steps)``) the currently chosen worker's priority
+    drops below everyone else's, forcing a context switch at an adversarial
+    moment instead of a uniformly random one.
+    """
+
+    label = "pct"
+
+    def __init__(self, seed: int, workers: int = 2, depth: int = 3, max_steps: int = 64):
+        self.seed = seed
+        rng = random.Random(seed)
+        priorities = list(range(depth, depth + workers))
+        rng.shuffle(priorities)
+        self._priority = {i: priorities[i] for i in range(workers)}
+        changes = max(0, depth - 1)
+        self._change_points = set(rng.sample(range(max_steps), min(changes, max_steps)))
+        self._next_low = 0  # demotion priorities count down below all initials
+
+    def pick(self, runnable: tuple[int, ...], decision_index: int) -> int:
+        chosen = max(runnable, key=lambda i: self._priority.get(i, 0))
+        if decision_index in self._change_points:
+            self._next_low -= 1
+            self._priority[chosen] = self._next_low
+            chosen = max(runnable, key=lambda i: self._priority.get(i, 0))
+        return chosen
+
+    def describe(self) -> str:
+        return f"pct(seed={self.seed})"

@@ -164,3 +164,32 @@ class DeltaStore:
             from_tid = self._flushed_tid
             self._flushed_tid = up_to_tid
             return DeltaFile(records, from_tid, up_to_tid)
+
+    def prepare_cut(self, up_to_tid: int) -> DeltaFile | None:
+        """Phase one of a two-phase cut: capture the prefix, retire nothing.
+
+        :meth:`cut` removes records before the caller can publish the
+        returned file, so a concurrent overlay read lands in a window where
+        the records are in *neither* the delta store nor the file list
+        (found by ``repro.analysis.explore``, vacuum-vs-search scenario).
+        ``prepare_cut`` only copies the prefix; the caller publishes the
+        file, then calls :meth:`commit_cut` to retire it.  In between, the
+        records are visible twice — benign, because overlays apply
+        last-write-wins per vid and both copies are identical.
+        """
+        with self._lock:
+            if up_to_tid <= self._flushed_tid:
+                return None
+            stop = bisect.bisect_right(self._tids, up_to_tid)
+            if stop == 0:
+                self._flushed_tid = up_to_tid
+                return None
+            return DeltaFile(list(self._records[:stop]), self._flushed_tid, up_to_tid)
+
+    def commit_cut(self, dfile: DeltaFile) -> None:
+        """Phase two: retire the prefix captured by :meth:`prepare_cut`."""
+        with self._lock:
+            stop = bisect.bisect_right(self._tids, dfile.to_tid)
+            self._records = self._records[stop:]
+            self._tids = self._tids[stop:]
+            self._flushed_tid = dfile.to_tid

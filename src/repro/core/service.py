@@ -17,6 +17,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..analysis.hooks import schedule_point
 from ..errors import UnknownTypeError, VectorSearchError
 from ..graph.schema import GraphSchema
 from ..index.bitmap import Bitmap
@@ -106,6 +107,7 @@ class EmbeddingStore:
 
     # -------------------------------------------------------------- deltas
     def append_deltas(self, records: list[DeltaRecord]) -> None:
+        schedule_point("store.delta.append")
         self._ensure_segments_for(r.vid for r in records)
         self.delta_store.append(records)
 
@@ -156,6 +158,7 @@ class EmbeddingStore:
         snapshots in place without moving the watermark — that path is the
         offline ingest fast path, never used on a serving store.
         """
+        schedule_point("store.watermark.read")
         segs = self.segments()
         return (
             len(segs),
@@ -234,8 +237,29 @@ class EmbeddingStore:
         ``snap.present`` without copying (Sec. 5.1 reuse).
         """
         segment = self.segment(seg_no)
-        snap = segment.snapshot_for(snapshot_tid)
-        overlay = self.overlay_records(seg_no, snap.tid, snapshot_tid)
+        while True:
+            flushed = self.delta_store.flushed_tid
+            snap = segment.snapshot_for(snapshot_tid)
+            overlay = self.overlay_records(seg_no, snap.tid, snapshot_tid)
+            # TOCTOU guards (both interleavings found by
+            # repro.analysis.explore, vacuum-vs-search scenario):
+            #
+            # - An *index merge* landing between the two reads above installs
+            #   a snapshot that covers this reader and may reclaim the delta
+            #   files the overlay needed, leaving ``snap`` stale and
+            #   ``overlay`` empty.  The merge flips the segment's applicable
+            #   snapshot TID, so re-resolving detects it.
+            # - A *delta merge* landing mid-overlay moves records from the
+            #   in-memory store into a delta file after the file list was
+            #   read but before the store was — invisible to the snapshot
+            #   TID.  ``flushed_tid`` is bumped only after the file is
+            #   published (two-phase cut), so an unchanged value brackets a
+            #   consistent read.
+            if (
+                segment.snapshot_for(snapshot_tid).tid == snap.tid
+                and self.delta_store.flushed_tid == flushed
+            ):
+                break
         # Last-writer-wins per offset within the overlay window.
         overlay_last: dict[int, DeltaRecord] = {}
         for record in overlay:

@@ -111,7 +111,11 @@ class VacuumManager:
         # two background vacuum loops interleave.  Telemetry is recorded
         # after release so its leaf locks never nest under the merge lock.
         with self._merge_lock:
-            dfile = store.delta_store.cut(target)
+            # Two-phase cut: publish the file before retiring the in-memory
+            # prefix, so a concurrent overlay read never lands in a window
+            # where the records are in neither place (repro.analysis.explore,
+            # vacuum-vs-search scenario).
+            dfile = store.delta_store.prepare_cut(target)
             if dfile is None:
                 flushed = 0
             else:
@@ -119,6 +123,7 @@ class VacuumManager:
                     name = f"{store.vertex_type}.{store.embedding.name}.{dfile.from_tid}-{dfile.to_tid}.delta"
                     dfile.save(self.spill_dir / name)
                 store.delta_files.append(dfile)
+                store.delta_store.commit_cut(dfile)
                 self.stats.delta_merges += 1
                 self.stats.records_flushed += len(dfile)
                 self.stats.delta_merge_seconds += time.perf_counter() - start
@@ -167,9 +172,12 @@ class VacuumManager:
             # Consume the delta files: they move to the retired list so
             # readers older than this merge can still overlay them; both
             # they and old index snapshots are reclaimed only once no live
-            # snapshot predates the merge (paper Sec. 4.3).
-            store.delta_files = [f for f in store.delta_files if f not in files]
+            # snapshot predates the merge (paper Sec. 4.3).  Retire *before*
+            # removing so a concurrent overlay read (retired list is read
+            # first) never finds a file in neither list; brief
+            # double-visibility is benign under last-write-wins overlays.
             store.retired_delta_files.extend((new_tid, f) for f in files)
+            store.delta_files = [f for f in store.delta_files if f not in files]
             self._gc_store(store)
             self.stats.index_merges += 1
             self.stats.records_merged += merged

@@ -176,3 +176,14 @@ class WALCorruptionError(ReproError):
     middle of the log means the durable history itself is damaged and replay
     refuses to guess.
     """
+
+
+class ExplorationError(ReproError):
+    """The interleaving explorer could not make scheduling progress.
+
+    Raised for scheduler stalls (a controlled thread blocked on something
+    the explorer cannot see) and runaway schedules that exceed the step
+    budget — infrastructure failures, as opposed to a scenario invariant
+    violation, which surfaces as the scenario's own exception inside a
+    :class:`repro.analysis.explore.RunResult`.
+    """

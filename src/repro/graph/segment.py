@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from ..analysis.hooks import schedule_point
 from ..errors import ReproError
 from .schema import VertexType
 
@@ -102,6 +103,7 @@ class Segment:
 
     # ------------------------------------------------------------- mutation
     def append_delta(self, op: DeltaOp) -> None:
+        schedule_point("segment.delta.append")
         if self._delta_tids and op.tid < self._delta_tids[-1]:
             raise ReproError("segment deltas must be appended in TID order")
         self.deltas.append(op)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterable
 
+from ..analysis.hooks import schedule_point
 from ..errors import ReproError, TransactionError, UnknownTypeError
 from .schema import GraphSchema
 from .segment import DeltaOp, Segment, reverse_edge_key
@@ -141,6 +142,7 @@ class GraphStore:
         return Transaction(self)
 
     def snapshot(self) -> Snapshot:
+        schedule_point("storage.snapshot.pin")
         with self._snapshot_lock:
             tid = self._last_tid
             self._active_snapshots[tid] = self._active_snapshots.get(tid, 0) + 1
@@ -183,6 +185,10 @@ class GraphStore:
             if embedding_ops:
                 for hook in self._embedding_hooks:
                     hook(tid, embedding_ops)
+            # The window between the embedding hooks (which bump watermark
+            # components) and publishing last_tid is the commit-race class
+            # the serve cache validates against; make it explorable.
+            schedule_point("storage.commit.publish")
             self._last_tid = tid
             return tid
 

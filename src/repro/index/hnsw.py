@@ -51,6 +51,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..analysis.hooks import schedule_point
 from ..errors import IndexPersistenceError, VectorSearchError
 from ..telemetry import get_telemetry
 from ..types import Metric
@@ -730,6 +731,7 @@ class HNSWIndex(VectorIndex):
             self._set_neighbors(node, level, [links[i] for i in keep])
 
     def _insert(self, external_id: int, vector: np.ndarray) -> None:
+        schedule_point("hnsw.insert")
         self._write_lock.acquire()  # reentrant under update_items' batch lock
         try:
             self._insert_locked(external_id, vector)
@@ -910,6 +912,7 @@ class HNSWIndex(VectorIndex):
         file I/O never blocks writers.
         """
         path = Path(path)
+        schedule_point("hnsw.save")
         with self._write_lock:
             count = self._count
             payload = {

@@ -49,6 +49,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..analysis.hooks import schedule_point
 from ..errors import ServeError
 
 __all__ = ["ResultCache"]
@@ -99,6 +100,7 @@ class ResultCache:
 
     def get(self, key: tuple):
         """The cached triples, or ``None``; records hit/miss internally."""
+        schedule_point("serve.cache.get")
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -116,6 +118,7 @@ class ResultCache:
         :meth:`stats`.
         """
         nbytes = self._estimate(key, value)
+        schedule_point("serve.cache.put")
         evicted = 0
         with self._lock:
             old = self._entries.pop(key, None)

@@ -22,6 +22,7 @@ INSTRUMENTS: dict[str, tuple[str, str]] = {
     "query.slow": ("counter", "queries over the slow-query threshold"),
     # ---- HNSW ------------------------------------------------------------
     "hnsw.searches": ("counter", "HNSW top-k searches"),
+    "hnsw.fused_searches": ("counter", "queries answered by the fused lockstep traversal"),
     "hnsw.distance_computations": ("histogram", "distance computations per search"),
     "hnsw.hops": ("histogram", "graph hops per search"),
     "hnsw.ef_expansions": ("histogram", "effective ef (candidate expansions) per search"),
@@ -67,6 +68,10 @@ INSTRUMENTS: dict[str, tuple[str, str]] = {
     "serve.cache_hits": ("counter", "result-cache hits"),
     "serve.cache_misses": ("counter", "result-cache misses"),
     "serve.cache_evictions": ("counter", "result-cache LRU evictions"),
+    "serve.cache_bypass_commit_race": (
+        "counter",
+        "results served uncached: watermark outran the pinned snapshot mid-commit",
+    ),
     "serve.queue_depth": ("gauge", "requests waiting in the weighted-fair queue"),
     "serve.batch_size": ("histogram", "requests fused per executed micro-batch"),
     "serve.queue_wait_seconds": ("histogram", "submit-to-dequeue queue wait"),

@@ -39,6 +39,19 @@ def _lock_sanitizer_gate():
     assert not found, sanitizer.format_report()
 
 
+@pytest.fixture(autouse=True)
+def _lock_sanitizer_context(request):
+    """Tag sanitizer violations with the pytest test id that triggered them."""
+    if not _SANITIZE:
+        yield
+        return
+    from repro.analysis import sanitizer
+
+    sanitizer.set_context(request.node.nodeid)
+    yield
+    sanitizer.set_context("")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if _SANITIZE:
         from repro.analysis import sanitizer

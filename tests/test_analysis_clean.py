@@ -63,6 +63,13 @@ def test_cli_catches_seeded_violations(tmp_path):
                         return dist == best_dist        # R005
                     except Exception:
                         pass                            # R006
+
+                def start(self):
+                    threading.Thread(target=self.put).start()    # R010
+
+                def hold(self):
+                    self._lock.acquire()                # R009
+                    self._lock.release()
             """
         )
     )
@@ -85,7 +92,8 @@ def test_cli_catches_seeded_violations(tmp_path):
     assert proc.returncode == 1, proc.stdout + proc.stderr
     payload = json.loads(proc.stdout)
     caught = {f["rule"] for f in payload["findings"]}
-    assert caught == {"R001", "R004", "R005", "R006", "R007"}
+    assert caught == {"R001", "R004", "R005", "R006", "R007", "R009", "R010"}
+    assert all(f["suppressed"] is False for f in payload["findings"])
 
 
 def test_cli_rules_subcommand_lists_catalog():
@@ -98,5 +106,41 @@ def test_cli_rules_subcommand_lists_catalog():
         timeout=120,
     )
     assert proc.returncode == 0
-    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+    for rule_id in (
+        "R001", "R002", "R003", "R004", "R005", "R006",
+        "R007", "R008", "R009", "R010", "R011", "R012",
+    ):
         assert rule_id in proc.stdout
+
+
+def test_cli_max_noqa_budget(tmp_path):
+    suppressed = tmp_path / "suppressed.py"
+    suppressed.write_text(
+        textwrap.dedent(
+            """
+            import threading
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    self._items[key] = value  # repro: noqa[R001] -- single-threaded test helper
+            """
+        )
+    )
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    base = [sys.executable, "-m", "repro.analysis", "lint", str(suppressed)]
+    within = subprocess.run(
+        base + ["--max-noqa", "1"],
+        cwd=REPO_ROOT, capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert within.returncode == 0, within.stdout + within.stderr
+    over = subprocess.run(
+        base + ["--max-noqa", "0"],
+        cwd=REPO_ROOT, capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert over.returncode == 1
+    assert "suppression budget exceeded" in over.stderr

@@ -665,6 +665,20 @@ class TestSanitizer:
         assert sanitizer.violations() == []
         assert sanitizer.counters()["orderings"] == 1
 
+    def test_violation_tagged_with_context(self, clean_sanitizer):
+        sanitizer.set_context("tests/test_example.py::test_case")
+        try:
+            commit = sanitizer.SanitizedLock(name="storage.py:58(self._commit_lock)")
+            other = sanitizer.SanitizedLock(name="delta.py:108(self._lock)")
+            with other:
+                with commit:
+                    pass
+        finally:
+            sanitizer.set_context("")
+        found = sanitizer.violations()
+        assert found and found[0].context == "tests/test_example.py::test_case"
+        assert "triggered by: tests/test_example.py::test_case" in found[0].render()
+
     def test_held_across_commit_detected(self, clean_sanitizer):
         commit = sanitizer.SanitizedLock(name="storage.py:58(self._commit_lock)")
         other = sanitizer.SanitizedLock(name="delta.py:108(self._lock)")
@@ -734,3 +748,275 @@ class TestSanitizer:
         with clone:
             pass
         assert clone.name == lock.name
+
+
+# ---------------------------------------------------------------- R008
+
+
+class TestR008WatermarkBeforeSnapshot:
+    def test_unvalidated_sequence_flagged(self):
+        findings = lint(
+            """
+            def serve(store, db, cache, key):
+                mark = store.watermark()
+                with db.snapshot() as snapshot:
+                    top = search(snapshot)
+                cache.put(key, top)
+            """,
+            rules=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+        assert "watermark_tid" in findings[0].message
+
+    def test_validated_sequence_clean(self):
+        findings = lint(
+            """
+            def serve(store, db, cache, key):
+                mark = store.watermark()
+                with db.snapshot() as snapshot:
+                    top = search(snapshot)
+                    if EmbeddingStore.watermark_tid(mark) > snapshot.tid:
+                        return top
+                cache.put(key, top)
+            """,
+            rules=["R008"],
+        )
+        assert findings == []
+
+    def test_snapshot_without_watermark_clean(self):
+        findings = lint(
+            """
+            def run(db):
+                with db.snapshot() as snapshot:
+                    return search(snapshot)
+            """,
+            rules=["R008"],
+        )
+        assert findings == []
+
+    def test_snapshot_before_watermark_clean(self):
+        findings = lint(
+            """
+            def run(db, store):
+                with db.snapshot() as snapshot:
+                    top = search(snapshot)
+                return top, store.watermark()
+            """,
+            rules=["R008"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- R009
+
+
+class TestR009AcquireWithoutTryFinally:
+    def test_bare_acquire_flagged(self):
+        findings = lint(
+            """
+            def update(self):
+                self._lock.acquire()
+                self._items.clear()
+                self._lock.release()
+            """,
+            rules=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+        assert "try/finally" in findings[0].message
+
+    def test_try_finally_release_clean(self):
+        findings = lint(
+            """
+            def update(self):
+                self._lock.acquire()
+                try:
+                    self._items.clear()
+                finally:
+                    self._lock.release()
+            """,
+            rules=["R009"],
+        )
+        assert findings == []
+
+    def test_nonblocking_probe_clean(self):
+        findings = lint(
+            """
+            def try_update(self):
+                if self._lock.acquire(False):
+                    self._items.clear()
+                    self._lock.release()
+            """,
+            rules=["R009"],
+        )
+        assert findings == []
+
+    def test_wrapper_methods_exempt(self):
+        findings = lint(
+            """
+            class Wrapper:
+                def acquire(self):
+                    return self._inner_lock.acquire()
+
+                def __enter__(self):
+                    self._inner_lock.acquire()
+                    return self
+            """,
+            rules=["R009"],
+        )
+        assert findings == []
+
+    def test_non_lock_receiver_ignored(self):
+        findings = lint(
+            """
+            def fetch(self):
+                self._connection.acquire()
+            """,
+            rules=["R009"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- R010
+
+
+class TestR010ThreadLifecycle:
+    def test_untracked_thread_flagged(self):
+        findings = lint(
+            """
+            import threading
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+            """,
+            rules=["R010"],
+        )
+        assert rule_ids(findings) == ["R010"]
+        assert "daemon" in findings[0].message
+
+    def test_daemon_thread_clean(self):
+        findings = lint(
+            """
+            import threading
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop, daemon=True)
+                self._thread.start()
+            """,
+            rules=["R010"],
+        )
+        assert findings == []
+
+    def test_joined_thread_clean(self):
+        findings = lint(
+            """
+            import threading
+
+            def run(self):
+                worker = threading.Thread(target=self._loop)
+                worker.start()
+                worker.join()
+            """,
+            rules=["R010"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- R011
+
+
+class TestR011GenericException:
+    def test_raise_exception_flagged(self):
+        findings = lint(
+            """
+            def commit(self):
+                raise Exception("commit failed")
+            """,
+            rules=["R011"],
+        )
+        assert rule_ids(findings) == ["R011"]
+        assert "ReproError" in findings[0].message
+
+    def test_raise_runtimeerror_flagged(self):
+        findings = lint(
+            """
+            def commit(self):
+                raise RuntimeError("commit failed")
+            """,
+            rules=["R011"],
+        )
+        assert rule_ids(findings) == ["R011"]
+
+    def test_typed_error_clean(self):
+        findings = lint(
+            """
+            from repro.errors import TransactionError
+
+            def commit(self):
+                raise TransactionError("commit failed")
+            """,
+            rules=["R011"],
+        )
+        assert findings == []
+
+    def test_outside_repro_tree_exempt(self):
+        findings = lint(
+            """
+            def main():
+                raise RuntimeError("script failure")
+            """,
+            path="tools/some_script.py",
+            rules=["R011"],
+        )
+        assert findings == []
+
+    def test_bare_reraise_clean(self):
+        findings = lint(
+            """
+            def commit(self):
+                try:
+                    work()
+                except Exception:
+                    raise
+            """,
+            rules=["R011"],
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- R012
+
+
+class TestR012InstrumentCatalog:
+    def test_unknown_instrument_flagged(self):
+        findings = lint(
+            """
+            def record(tel):
+                tel.inc("serve.nonexistent_counter")
+            """,
+            rules=["R012"],
+        )
+        assert rule_ids(findings) == ["R012"]
+        assert "serve.nonexistent_counter" in findings[0].message
+
+    def test_catalogued_instrument_clean(self):
+        findings = lint(
+            """
+            def record(tel, elapsed):
+                tel.inc("serve.cache_hits")
+                tel.observe("vacuum.index_merge_seconds", elapsed)
+            """,
+            rules=["R012"],
+        )
+        assert findings == []
+
+    def test_non_dotted_and_dynamic_names_ignored(self):
+        findings = lint(
+            """
+            def record(tel, name):
+                tel.inc("plain_counter")
+                tel.inc(name)
+            """,
+            rules=["R012"],
+        )
+        assert findings == []

@@ -1,0 +1,180 @@
+"""Tests for the schedule-exploring concurrency checker (repro.analysis.explore).
+
+Covers the explorer's core guarantees: seeded schedules are deterministic,
+failures replay byte-identically from their recorded choices, the toy
+lost-update bug is found within a bounded budget, the serve-layer commit
+race is re-discovered when its validation is disabled (and stays hidden
+when enabled), and true deadlocks are reported as such.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import explore, sanitizer, scenarios
+from repro.analysis.schedules import PCTSchedule, RandomSchedule, ReplaySchedule
+from repro.analysis.sanitizer import SanitizedLock
+
+
+@pytest.fixture
+def clean_sanitizer():
+    sanitizer.reset()
+    yield sanitizer
+    sanitizer.reset()
+
+
+# ------------------------------------------------------------ determinism
+
+
+def test_same_seed_reproduces_trace(clean_sanitizer):
+    first = explore.run_schedule(
+        scenarios.LostUpdateScenario(guarded=False), RandomSchedule(seed=5)
+    )
+    second = explore.run_schedule(
+        scenarios.LostUpdateScenario(guarded=False), RandomSchedule(seed=5)
+    )
+    assert first.trace == second.trace
+    assert first.choices == second.choices
+    assert first.ok == second.ok
+    assert first.failure == second.failure
+
+
+def test_pct_schedule_is_deterministic():
+    runnables = [(0, 1), (0, 1), (0, 1), (0, 1), (0, 1)]
+    a = PCTSchedule(seed=9)
+    b = PCTSchedule(seed=9)
+    assert [a.pick(r, i) for i, r in enumerate(runnables)] == [
+        b.pick(r, i) for i, r in enumerate(runnables)
+    ]
+
+
+def test_replay_schedule_follows_choices():
+    sched = ReplaySchedule([1, 0, 1])
+    assert sched.pick((0, 1), 0) == 1
+    assert sched.pick((0, 1), 1) == 0
+    assert sched.pick((0, 1), 2) == 1
+    # past the recorded prefix: lowest runnable wins
+    assert sched.pick((0, 1), 3) == 0
+
+
+# ------------------------------------------------------- toy lost update
+
+
+def test_toy_lost_update_found_exhaustively(clean_sanitizer):
+    result = explore.explore_exhaustive(
+        lambda: scenarios.LostUpdateScenario(guarded=False),
+        max_decisions=8,
+        max_schedules=64,
+    )
+    assert result.found, "bounded-exhaustive search must find the lost update"
+    assert result.schedules_run <= 64
+    assert result.failure.failure_kind == "check"
+    assert "lost update" in result.failure.failure
+
+
+def test_failure_replays_byte_identically(clean_sanitizer):
+    found = explore.explore_exhaustive(
+        lambda: scenarios.LostUpdateScenario(guarded=False),
+        max_decisions=8,
+        max_schedules=64,
+    )
+    assert found.found
+    replayed = explore.replay(
+        scenarios.LostUpdateScenario(guarded=False), found.failure.choices
+    )
+    assert not replayed.ok
+    assert replayed.trace == found.failure.trace
+    assert replayed.failure == found.failure.failure
+    assert replayed.render_trace().splitlines()[1:] == (
+        found.failure.render_trace().splitlines()[1:]
+    )
+
+
+def test_guarded_toy_stays_clean(clean_sanitizer):
+    result = explore.explore_exhaustive(
+        lambda: scenarios.LostUpdateScenario(guarded=True),
+        max_decisions=8,
+        max_schedules=64,
+    )
+    assert not result.found, result.summary()
+
+
+# ------------------------------------------------- serve commit race
+
+
+def test_commit_race_found_when_validation_disabled(clean_sanitizer):
+    result = explore.explore_random(
+        lambda: scenarios.CommitVsCachedSearch(validate=False),
+        seeds=range(256),
+        make_schedule=PCTSchedule,
+    )
+    assert result.found, "explorer lost coverage of the commit/watermark race"
+    assert result.failure.failure_kind == "check"
+    assert "cache poisoned" in result.failure.failure
+    # the failing schedule must replay to the same verdict
+    replayed = explore.replay(
+        scenarios.CommitVsCachedSearch(validate=False), result.failure.choices
+    )
+    assert not replayed.ok
+    assert replayed.failure == result.failure.failure
+
+
+def test_commit_race_hidden_by_validation(clean_sanitizer):
+    result = explore.explore_random(
+        lambda: scenarios.CommitVsCachedSearch(validate=True),
+        seeds=range(32),
+        make_schedule=PCTSchedule,
+    )
+    assert not result.found, result.summary()
+
+
+# ------------------------------------------------------------- deadlock
+
+
+class _ABBADeadlock(explore.Scenario):
+    name = "abba-deadlock"
+    threads = 2
+
+    def setup(self):
+        state = scenarios._Box()
+        state.lock_a = SanitizedLock(name="toy.deadlock.a")
+        state.lock_b = SanitizedLock(name="toy.deadlock.b")
+        return state
+
+    def worker(self, state, index: int) -> None:
+        first, second = (
+            (state.lock_a, state.lock_b) if index == 0 else (state.lock_b, state.lock_a)
+        )
+        with first:
+            with second:
+                pass
+
+
+def test_abba_deadlock_detected(clean_sanitizer):
+    result = explore.explore_exhaustive(
+        lambda: _ABBADeadlock(), max_decisions=8, max_schedules=64
+    )
+    assert result.found
+    assert result.failure.failure_kind == "deadlock"
+    assert "deadlock" in result.failure.failure
+
+
+# ------------------------------------------------------- matrix sanity
+
+
+def test_matrix_names_unique_and_resolvable():
+    names = scenarios.scenario_names()
+    assert len(names) == len(set(names))
+    for name in names:
+        assert scenarios.make_scenario(name).name == name
+    with pytest.raises(KeyError):
+        scenarios.make_scenario("no-such-scenario")
+
+
+def test_vacuum_vs_search_stays_clean(clean_sanitizer):
+    result = explore.explore_random(
+        lambda: scenarios.VacuumVsSearch(),
+        seeds=range(12),
+        make_schedule=PCTSchedule,
+    )
+    assert not result.found, result.summary()
