@@ -197,6 +197,95 @@ class CommitVsCachedSearch(Scenario):
 
 
 # --------------------------------------------------------------------------
+# read-your-writes session token vs commit publish
+# --------------------------------------------------------------------------
+
+
+class SessionTokenVsCommitPublish(Scenario):
+    """A session token racing the commit that issued it.
+
+    Worker 0 commits a new nearest-neighbor embedding for doc 0.  Worker 1
+    models a client that just committed: it derives a session token from
+    the store watermark — the embedding hook publishes the commit's TID
+    there *before* ``GraphStore.last_tid`` — then asks to be served
+    read-your-writes.
+
+    With ``validate=False`` (no token check) there is an interleaving —
+    token read post-hook, snapshot pinned pre-``last_tid`` — where the
+    "serving snapshot" predates the very commit the token names, and the
+    client reads a top-k missing its own write.  With ``validate=True``
+    (the shipped ``QueryServer._execute_sla`` logic: only serve from a
+    snapshot whose TID covers the token, bounded retries, fail typed
+    otherwise) every interleaving must pass.
+    """
+
+    threads = 2
+    description = "read-your-writes token vs commit publish window"
+
+    #: Mirrors the server's bounded staleness_wait: give up (fail typed)
+    #: rather than spin forever inside an adversarial schedule.
+    _MAX_RETRIES = 8
+
+    def __init__(self, validate: bool = True):
+        self.validate = validate
+        self.name = (
+            "session-token-vs-commit"
+            if validate
+            else "session-token-vs-commit-unvalidated"
+        )
+
+    def setup(self):
+        state = _Box()
+        state.db = _make_doc_db()
+        state.db.vacuum(num_threads=1)
+        state.query = np.zeros(_DIM, dtype=np.float32)
+        state.query[0] = 100.0
+        state.new_vector = np.zeros(_DIM, dtype=np.float32)
+        state.new_vector[0] = 99.0  # post-commit nearest neighbor for query
+        state.token = None
+        state.served = None
+        return state
+
+    def worker(self, state, index: int) -> None:
+        if index == 0:
+            with state.db.begin() as txn:
+                txn.set_embedding("Doc", 0, "vec", state.new_vector)
+            return
+        store = state.db.service.store("Doc", "vec")
+        state.token = EmbeddingStore.watermark_tid(store.watermark())
+        for _ in range(self._MAX_RETRIES):
+            with state.db.snapshot() as snapshot:
+                if not self.validate or snapshot.tid >= state.token:
+                    state.served = [
+                        (vtype, vid)
+                        for _, vtype, vid in vector_search_merged(
+                            state.db.service, snapshot, [_ATTR], state.query, _K
+                        )
+                    ]
+                    return
+            schedule_point("serve.sla.retry")
+        # Retry budget exhausted with the token still uncovered: the server
+        # fails this request typed (StalenessBoundError), never stale.
+
+    def check(self, state) -> None:
+        if state.served is None:
+            return
+        commit_tid = state.db.store.last_tid
+        if state.token is None or state.token < commit_tid:
+            return  # token predates the commit: no read-your-writes claim
+        truth = [
+            (vtype, vid) for _, vtype, vid in _search(state.db, state.query)
+        ]
+        assert state.served == truth, (
+            f"read-your-writes violated: token {state.token} was served "
+            f"stale top-k {state.served} != {truth}"
+        )
+
+    def teardown(self, state) -> None:
+        state.db.close()
+
+
+# --------------------------------------------------------------------------
 # vacuum delta_merge vs search
 # --------------------------------------------------------------------------
 
@@ -370,6 +459,12 @@ MATRIX: list[ScenarioSpec] = [
     ScenarioSpec(lambda: LostUpdateScenario(guarded=True), ("exhaustive", 8, 64), False),
     ScenarioSpec(lambda: CommitVsCachedSearch(validate=False), ("pct", 256), True),
     ScenarioSpec(lambda: CommitVsCachedSearch(validate=True), ("pct", 64), False),
+    ScenarioSpec(
+        lambda: SessionTokenVsCommitPublish(validate=False), ("pct", 256), True
+    ),
+    ScenarioSpec(
+        lambda: SessionTokenVsCommitPublish(validate=True), ("pct", 64), False
+    ),
     ScenarioSpec(lambda: VacuumVsSearch(), ("pct", 12), False),
     ScenarioSpec(lambda: HnswInsertVsSave(), ("pct", 12), False),
     ScenarioSpec(lambda: BatcherVsWindowClose(), ("random", 8), False),

@@ -17,7 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ClusterError, PartialResultError, QueryTimeoutError
+from ..errors import (
+    ClusterError,
+    PartialResultError,
+    QueryTimeoutError,
+    StalenessBoundError,
+)
 from .coordinator import ClusterSimulator
 
 __all__ = ["ClosedLoopLoadGenerator", "LoadResult"]
@@ -44,6 +49,16 @@ class LoadResult:
     failed: int = 0
     partial: int = 0
     mean_coverage: float = 1.0
+    #: SLA accounting breakdown of ``failed``: deadline misses vs
+    #: freshness-contract rejections (:class:`StalenessBoundError`) are
+    #: different operator signals — the former wants capacity, the latter
+    #: wants the vacuum/commit pipeline to catch up.
+    deadline_failed: int = 0
+    stale_rejected: int = 0
+    #: Total snapshot re-pin waits reported by successful outcomes
+    #: (read-your-writes/session-token waits); latency already folds them
+    #: in, this counts how often freshness had to be waited for.
+    token_waits: int = 0
     #: Open-loop runs only: the Poisson arrival rate that was offered and
     #: the number of arrivals generated (compare with ``completed`` +
     #: ``failed`` to see shed/backlog behavior under overload).
@@ -79,8 +94,7 @@ class ClosedLoopLoadGenerator:
         self.simulator.reset()
         samples = itertools.cycle(sample_segment_seconds)
         chaos = self._resilient()
-        self._failed = 0
-        self._coverages: list[float] = []
+        self._reset_accounting()
         # Event heap holds (completion_time, seq, issue_time).
         events: list[tuple[float, int, float]] = []
         seq = itertools.count()
@@ -113,6 +127,9 @@ class ClosedLoopLoadGenerator:
             failed=self._failed,
             partial=int(np.count_nonzero(coverages < 1.0)),
             mean_coverage=float(coverages.mean()),
+            deadline_failed=self._deadline_failed,
+            stale_rejected=self._stale_rejected,
+            token_waits=self._token_waits,
         )
 
     def run_open_loop(
@@ -137,8 +154,7 @@ class ClosedLoopLoadGenerator:
         self.simulator.reset()
         samples = itertools.cycle(sample_segment_seconds)
         resilient = self._resilient()
-        self._failed = 0
-        self._coverages = []
+        self._reset_accounting()
         rng = np.random.default_rng(seed)
         latencies: list[float] = []
         completed = 0
@@ -168,9 +184,19 @@ class ClosedLoopLoadGenerator:
             failed=self._failed,
             partial=int(np.count_nonzero(coverages < 1.0)),
             mean_coverage=float(coverages.mean()),
+            deadline_failed=self._deadline_failed,
+            stale_rejected=self._stale_rejected,
+            token_waits=self._token_waits,
             target_qps=target_qps,
             offered=offered,
         )
+
+    def _reset_accounting(self) -> None:
+        self._failed = 0
+        self._deadline_failed = 0
+        self._stale_rejected = 0
+        self._token_waits = 0
+        self._coverages: list[float] = []
 
     def _resilient(self) -> bool:
         """Whether per-request failures should be counted, not raised.
@@ -187,17 +213,31 @@ class ClosedLoopLoadGenerator:
     def _issue(self, issue: float, sample: dict[int, float], chaos: bool) -> float:
         """One request; under chaos, failures are counted, not raised.
 
-        A failed query still occupies its connection until the deadline (if
-        configured) or a nominal timeout, mirroring a client that waits out
-        the error before reissuing.
+        A deadline-failed query still occupies its connection until the
+        deadline (if configured) or a nominal timeout, mirroring a client
+        that waits out the error before reissuing.  A staleness rejection
+        is a fast typed failure (the server refuses rather than serving
+        stale), so the connection frees almost immediately; both are
+        counted in ``failed`` but broken out separately in
+        :class:`LoadResult`.
         """
         if not chaos:
             return self.simulator.simulate_request(issue, sample)
         try:
             outcome = self.simulator.simulate_request_outcome(issue, sample)
-        except (QueryTimeoutError, PartialResultError, ClusterError):
+        except QueryTimeoutError:
+            self._failed += 1
+            self._deadline_failed += 1
+            deadline = self.simulator.policy.deadline
+            return issue + (deadline if deadline is not None else 0.001)
+        except StalenessBoundError as exc:
+            self._failed += 1
+            self._stale_rejected += 1
+            return issue + max(getattr(exc, "waited", 0.0) or 0.0, 0.001)
+        except (PartialResultError, ClusterError):
             self._failed += 1
             deadline = self.simulator.policy.deadline
             return issue + (deadline if deadline is not None else 0.001)
         self._coverages.append(outcome.coverage)
+        self._token_waits += int(getattr(outcome, "token_waits", 0) or 0)
         return outcome.completion_seconds

@@ -107,6 +107,10 @@ class TigerVectorDB:
     def snapshot(self) -> Snapshot:
         return self.store.snapshot()
 
+    def session_token(self) -> int:
+        """Latest published commit TID (read-your-writes token; see serve)."""
+        return self.store.session_token()
+
     def vacuum(self, num_threads: int | None = None) -> dict:
         """Run one synchronous vacuum round (delta merge + index merge + graph)."""
         return self.vacuum_manager.run_once(num_threads=num_threads)

@@ -182,6 +182,20 @@ class EmbeddingStore:
         """
         return max(mark[1], mark[2], mark[3])
 
+    @staticmethod
+    def watermark_lag(marks, snapshot_tid: int) -> int:
+        """How far ``snapshot_tid`` trails the freshest watermark component.
+
+        ``marks`` is an iterable of :meth:`watermark` tuples (one per store a
+        query touches).  The lag is zero in steady state; it goes positive
+        exactly inside the mid-publication commit window (embedding hooks
+        fired, ``last_tid`` not yet published), which is the staleness the
+        serving SLA path bounds: a request with ``max_staleness=0`` insists
+        on a snapshot that covers every observed watermark TID.
+        """
+        ceiling = max(EmbeddingStore.watermark_tid(mark) for mark in marks)
+        return max(0, ceiling - snapshot_tid)
+
     # ------------------------------------------------------------ loading
     def bulk_load(self, vids: np.ndarray, vectors: np.ndarray, tid: int, num_threads: int = 1) -> None:
         """Partition a bulk batch by segment and build each directly."""

@@ -16,6 +16,14 @@ index building does not starve foreground queries
 
 :class:`VacuumManager` exposes both one-shot (``run_once``) and background
 (``start``/``stop``) operation; tests use one-shot for determinism.
+
+Stores can be assigned to tenants (:meth:`VacuumManager.assign_tenant`)
+and each tenant given a per-round record quota
+(:meth:`VacuumManager.set_tenant_quota`): once a tenant's stores have
+consumed their quota of flushed+merged records in a vacuum round, its
+remaining stores are deferred to the next round.  A write-flooding tenant
+then cannot monopolize merge bandwidth against everyone else's stores —
+the vacuum-side half of the serve tier's noisy-neighbor isolation.
 """
 
 from __future__ import annotations
@@ -65,6 +73,9 @@ class VacuumStats:
     records_merged: int = 0
     snapshots_installed: int = 0
     snapshots_gced: int = 0
+    #: Store visits skipped because the owning tenant's per-round record
+    #: quota was already consumed (the store is retried next round).
+    quota_deferrals: int = 0
     last_merge_threads: int = 0
     delta_merge_seconds: float = 0.0
     index_merge_seconds: float = 0.0
@@ -89,12 +100,53 @@ class VacuumManager:
         self.cpu_probe = cpu_probe or _default_cpu_probe
         self.max_merge_threads = max_merge_threads
         self.stats = VacuumStats()
+        #: tenant -> max flushed+merged records per vacuum round.
+        self.tenant_quotas: dict[str, int] = {}
+        #: (vertex_type, attribute name) -> owning tenant; unassigned
+        #: stores belong to the unlimited "default" tenant.
+        self._store_tenants: dict[tuple[str, str], str] = {}
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._merge_lock = threading.Lock()
         # Guards the background-thread handoff only; never held while
         # joining (stop() swaps the list out first, then joins unlocked).
         self._lifecycle_lock = threading.Lock()
+
+    # --------------------------------------------------------- tenant quotas
+    def assign_tenant(self, vertex_type: str, attribute: str, tenant: str) -> None:
+        """Declare that one embedding store belongs to ``tenant``.
+
+        Takes the merge lock so a reassignment never interleaves with a
+        round that is mid-way through attributing consumed quota.
+        """
+        if not tenant:
+            raise ValueError("tenant name must be non-empty")
+        with self._merge_lock:
+            self._store_tenants[(vertex_type, attribute)] = tenant
+
+    def set_tenant_quota(self, tenant: str, records_per_round: int | None) -> None:
+        """Cap a tenant's vacuum work per round; None removes the cap."""
+        if records_per_round is not None and records_per_round < 1:
+            raise ValueError("records_per_round must be at least 1")
+        with self._merge_lock:
+            if records_per_round is None:
+                self.tenant_quotas.pop(tenant, None)
+            else:
+                self.tenant_quotas[tenant] = int(records_per_round)
+
+    def _store_tenant(self, store: EmbeddingStore) -> str:
+        return self._store_tenants.get(
+            (store.vertex_type, store.embedding.name), "default"
+        )
+
+    def _quota_exhausted(self, tenant: str, consumed: dict[str, int]) -> bool:
+        """True when the tenant's per-round quota is spent (defers the store)."""
+        quota = self.tenant_quotas.get(tenant)
+        if quota is None or consumed.get(tenant, 0) < quota:
+            return False
+        self.stats.quota_deferrals += 1
+        get_telemetry().inc("vacuum.quota_deferrals")
+        return True
 
     # ------------------------------------------------------------ one-shot
     def delta_merge(self, store: EmbeddingStore, up_to_tid: int | None = None) -> int:
@@ -208,13 +260,30 @@ class VacuumManager:
             get_telemetry().inc("vacuum.versions_reclaimed", reclaimed)
 
     def run_once(self, num_threads: int | None = None) -> dict:
-        """One full vacuum round across every embedding store (+ graph vacuum)."""
-        flushed = merged = 0
+        """One full vacuum round across every embedding store (+ graph vacuum).
+
+        Stores whose tenant has already consumed its per-round quota are
+        deferred (counted in ``quota_deferred``) and picked up next round.
+        """
+        flushed = merged = deferred = 0
+        consumed: dict[str, int] = {}
         for store in self.service.stores():
-            flushed += self.delta_merge(store)
-            merged += self.index_merge(store, num_threads=num_threads)
+            tenant = self._store_tenant(store)
+            if self._quota_exhausted(tenant, consumed):
+                deferred += 1
+                continue
+            store_flushed = self.delta_merge(store)
+            store_merged = self.index_merge(store, num_threads=num_threads)
+            consumed[tenant] = consumed.get(tenant, 0) + store_flushed + store_merged
+            flushed += store_flushed
+            merged += store_merged
         graph_rebuilt = self.graph_store.vacuum()
-        return {"flushed": flushed, "merged": merged, "graph_segments_rebuilt": graph_rebuilt}
+        return {
+            "flushed": flushed,
+            "merged": merged,
+            "quota_deferred": deferred,
+            "graph_segments_rebuilt": graph_rebuilt,
+        }
 
     # ----------------------------------------------------------- background
     def start(self, delta_interval: float = 0.05, index_interval: float = 0.2) -> None:
@@ -222,13 +291,21 @@ class VacuumManager:
 
         def delta_loop() -> None:
             while not self._stop.wait(delta_interval):
+                consumed: dict[str, int] = {}
                 for store in self.service.stores():
-                    self.delta_merge(store)
+                    tenant = self._store_tenant(store)
+                    if self._quota_exhausted(tenant, consumed):
+                        continue
+                    consumed[tenant] = consumed.get(tenant, 0) + self.delta_merge(store)
 
         def index_loop() -> None:
             while not self._stop.wait(index_interval):
+                consumed: dict[str, int] = {}
                 for store in self.service.stores():
-                    self.index_merge(store)
+                    tenant = self._store_tenant(store)
+                    if self._quota_exhausted(tenant, consumed):
+                        continue
+                    consumed[tenant] = consumed.get(tenant, 0) + self.index_merge(store)
                 self.graph_store.vacuum()
 
         with self._lifecycle_lock:

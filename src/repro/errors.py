@@ -168,6 +168,39 @@ class RateLimitedError(AdmissionRejectedError):
         super().__init__(message, reason="rate_limited")
 
 
+class StalenessBoundError(ServeError):
+    """A request's freshness contract could not be met in time.
+
+    Raised by the serving SLA path when a request carries ``max_staleness``
+    (maximum tolerated watermark-TID lag of the pinned snapshot) or a
+    read-your-writes ``session_token`` (a commit TID the serving snapshot
+    must cover), and no fresh-enough snapshot became available within the
+    wait budget.  The failure is *typed and fast* by design: a client that
+    cannot be served fresh data learns so immediately instead of silently
+    receiving a stale answer.
+
+    ``lag`` is the observed watermark lag at rejection time, ``session_token``
+    / ``snapshot_tid`` describe a token violation, and ``waited`` is how long
+    the worker retried before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        max_staleness: int | None = None,
+        lag: int | None = None,
+        session_token: int | None = None,
+        snapshot_tid: int | None = None,
+        waited: float = 0.0,
+    ):
+        super().__init__(message)
+        self.max_staleness = max_staleness
+        self.lag = lag
+        self.session_token = session_token
+        self.snapshot_tid = snapshot_tid
+        self.waited = waited
+
+
 class WALCorruptionError(ReproError):
     """The write-ahead log contains a corrupt record that is not a torn tail.
 

@@ -29,6 +29,8 @@ from .plan import (
     NetworkFault,
     SegmentFault,
     StragglerFault,
+    WorkerCrashFault,
+    WorkerStallFault,
 )
 from .resilience import CircuitBreaker, ResiliencePolicy
 
@@ -43,4 +45,6 @@ __all__ = [
     "SegmentFault",
     "StragglerFault",
     "TraceEvent",
+    "WorkerCrashFault",
+    "WorkerStallFault",
 ]

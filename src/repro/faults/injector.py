@@ -27,6 +27,7 @@ to replay.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 
 from ..errors import FaultInjectionError, SimulatedCrash
@@ -45,6 +46,44 @@ class TraceEvent:
     seg_no: int | None = None
     attempt: int | None = None
     detail: str = ""
+
+
+class _WorkerFaultState:
+    """One-shot firing bookkeeping for serve-worker crash/stall faults.
+
+    Serve workers race on the injector from concurrent threads, unlike
+    the simulator hooks, which are driven single-threaded per workload.
+    The fired-sets therefore live here, behind their own leaf lock,
+    keeping :class:`FaultInjector`'s own mutations single-threaded by
+    contract.  Methods *claim* due faults atomically and return them;
+    the injector records trace events after the lock is released.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._crashes_fired: set[int] = set()
+        self._stalls_fired: set[int] = set()
+
+    def claim_crash(self, faults, ordinal: int) -> bool:
+        """Atomically claim the first unfired crash due at ``ordinal``."""
+        with self._lock:
+            for i, fault in enumerate(faults):
+                if i in self._crashes_fired or ordinal < fault.at_request:
+                    continue
+                self._crashes_fired.add(i)
+                return True
+        return False
+
+    def claim_stalls(self, faults, ordinal: int) -> list:
+        """Atomically claim every unfired stall due at ``ordinal``."""
+        with self._lock:
+            due = []
+            for i, fault in enumerate(faults):
+                if i in self._stalls_fired or ordinal < fault.at_request:
+                    continue
+                self._stalls_fired.add(i)
+                due.append(fault)
+            return due
 
 
 class FaultInjector:
@@ -67,6 +106,7 @@ class FaultInjector:
         self._commit_count = 0
         self._apply_calls = 0
         self._graph_store = None
+        self._worker_state = _WorkerFaultState()
 
     # ---------------------------------------------------------------- trace
     def record(
@@ -217,6 +257,34 @@ class FaultInjector:
                 f"injected search failure: segment {seg_no} on machine "
                 f"{machine_id} (attempt {attempt})"
             )
+
+    # ------------------------------------------------- serve-worker faults
+    def worker_crash_due(self, ordinal: int) -> bool:
+        """Should the worker that just made dequeue ``ordinal`` die now?
+
+        Each planned :class:`~repro.faults.plan.WorkerCrashFault` fires at
+        most once, at the first dequeue whose ordinal reaches its
+        ``at_request``.  Thread-safe: serve workers race on this.
+        """
+        if not self._worker_state.claim_crash(self.plan.worker_crashes, ordinal):
+            return False
+        self.record("worker-crash", at=float(ordinal), detail=f"ordinal={ordinal}")
+        return True
+
+    def worker_stall_seconds(self, ordinal: int) -> float:
+        """Total injected stall for the worker at dequeue ``ordinal``.
+
+        Zero when no planned :class:`~repro.faults.plan.WorkerStallFault`
+        is due; each fault fires once.
+        """
+        due = self._worker_state.claim_stalls(self.plan.worker_stalls, ordinal)
+        for fault in due:
+            self.record(
+                "worker-stall",
+                at=float(ordinal),
+                detail=f"ordinal={ordinal} seconds={fault.seconds:g}",
+            )
+        return sum(fault.seconds for fault in due)
 
     # ---------------------------------------------------- durability faults
     def install_store(self, store) -> None:

@@ -22,6 +22,11 @@ Fault taxonomy (paper Sec. 4.2/5.1 deployment story):
 - :class:`CommitCrashFault` — the process dies mid-commit (torn WAL append,
   or after the WAL append with ops only partially applied); WAL replay is
   the countermeasure.
+- :class:`WorkerCrashFault` / :class:`WorkerStallFault` — a serve-tier
+  worker thread dies (or stalls) right after dequeuing a request, keyed by
+  the server's dequeue ordinal; the countermeasure is the
+  :class:`~repro.serve.QueryServer` re-queueing the in-flight batch and
+  respawning a replacement worker, so no accepted request is ever lost.
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ __all__ = [
     "NetworkFault",
     "SegmentFault",
     "StragglerFault",
+    "WorkerCrashFault",
+    "WorkerStallFault",
 ]
 
 
@@ -129,6 +136,43 @@ class CommitCrashFault:
             raise FaultInjectionError("torn_fraction must be in (0, 1)")
 
 
+@dataclass(frozen=True)
+class WorkerCrashFault:
+    """A serve worker thread dies at the ``at_request``-th dequeue (1-based).
+
+    The crash lands *after* the worker pulled its request (and collected a
+    micro-batch around it) but *before* execution — the moment an
+    unprotected server would simply lose the in-flight work.  The server's
+    countermeasure re-queues every batch member (bounded by the resilience
+    policy's ``max_attempts``) and respawns a replacement worker.
+    """
+
+    at_request: int
+
+    def __post_init__(self) -> None:
+        if self.at_request < 1:
+            raise FaultInjectionError("worker crash ordinal must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkerStallFault:
+    """A serve worker sleeps ``seconds`` at the ``at_request``-th dequeue.
+
+    Models a straggling worker (GC pause, noisy CPU neighbor) holding a
+    dequeued batch.  Other workers keep draining the queue; the stalled
+    batch either completes late or fails typed at its deadline.
+    """
+
+    at_request: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.at_request < 1:
+            raise FaultInjectionError("worker stall ordinal must be >= 1")
+        if self.seconds <= 0:
+            raise FaultInjectionError("worker stall seconds must be positive")
+
+
 @dataclass
 class FaultPlan:
     """A seeded schedule of faults; feed it to a :class:`FaultInjector`."""
@@ -139,6 +183,8 @@ class FaultPlan:
     network: list[NetworkFault] = field(default_factory=list)
     segment_faults: list[SegmentFault] = field(default_factory=list)
     commit_crashes: list[CommitCrashFault] = field(default_factory=list)
+    worker_crashes: list[WorkerCrashFault] = field(default_factory=list)
+    worker_stalls: list[WorkerStallFault] = field(default_factory=list)
 
     # -------------------------------------------------------------- builder
     def crash(self, machine_id: int, at: float | None = None, recover_at: float | None = None,
@@ -164,6 +210,14 @@ class FaultPlan:
     def crash_commit(self, at_commit: int, mode: str = "torn-wal", after_ops: int = 1,
                      torn_fraction: float = 0.5) -> "FaultPlan":
         self.commit_crashes.append(CommitCrashFault(at_commit, mode, after_ops, torn_fraction))
+        return self
+
+    def crash_worker(self, at_request: int) -> "FaultPlan":
+        self.worker_crashes.append(WorkerCrashFault(at_request))
+        return self
+
+    def stall_worker(self, at_request: int, seconds: float) -> "FaultPlan":
+        self.worker_stalls.append(WorkerStallFault(at_request, seconds))
         return self
 
     # ------------------------------------------------------- random matrix

@@ -167,6 +167,22 @@ class GraphStore:
     def last_tid(self) -> int:
         return self._last_tid
 
+    def session_token(self) -> int:
+        """Read-your-writes token: the latest *published* commit TID.
+
+        :meth:`Transaction.commit` returns the committed TID directly —
+        that return value IS the session token for the writes it covers.
+        This accessor exists for sessions that observed a write indirectly
+        (e.g. through a commit hook) and need a token for "everything
+        published so far".  A serving snapshot covers a token ``t`` iff
+        ``snapshot.tid >= t``; the serve layer's session-token check
+        (``repro.serve``) enforces exactly that, closing the window where a
+        commit's embedding hook has fired (watermark bumped, token derivable)
+        but ``last_tid`` is not yet published.
+        """
+        with self._snapshot_lock:
+            return self._last_tid
+
     # ---------------------------------------------------------------- commit
     def _commit(self, ops: list[tuple]) -> int:
         with self._commit_lock:

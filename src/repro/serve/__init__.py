@@ -10,17 +10,26 @@ PAPERS.md):
 - :class:`MicroBatcher` — coalesces concurrent same-attribute top-k
   requests within a small time/size window into one fused multi-query
   segment scan (:func:`repro.core.search.vector_search_batch`);
-- :class:`ResultCache` — an LRU, byte-bounded result cache keyed by the
-  MVCC watermark of every touched store, so commits and vacuum merges
-  invalidate stale entries by construction;
+- :class:`ResultCache` / :class:`ServeResultCache` — an LRU, byte-bounded
+  result cache keyed by the MVCC watermark of every touched store (so
+  commits and vacuum merges invalidate stale entries by construction),
+  partitioned per tenant so one tenant's flood cannot evict another's hot
+  entries;
 - :class:`AdmissionController` / :class:`TokenBucket` /
   :class:`WeightedFairQueue` — bounded queues with deadline-aware
-  shedding, per-tenant rate limits, and weighted-fair scheduling.
+  shedding, per-tenant rate limits and queue shares, and weighted-fair
+  scheduling.
+
+The server also exposes a freshness SLA: requests may carry
+``max_staleness`` (bounded watermark-TID lag) or a read-your-writes
+``session_token`` (a commit TID the serving snapshot must cover) and are
+served fresh, or failed with a typed
+:class:`~repro.errors.StalenessBoundError` — never silently stale.
 """
 
 from .admission import AdmissionController, TokenBucket
 from .batcher import MicroBatcher
-from .cache import ResultCache
+from .cache import ResultCache, ServeResultCache
 from .server import QueryServer, ServeConfig, ServeFuture
 from .tenancy import Tenant, TenantRegistry, WeightedFairQueue
 
@@ -31,6 +40,7 @@ __all__ = [
     "ResultCache",
     "ServeConfig",
     "ServeFuture",
+    "ServeResultCache",
     "Tenant",
     "TenantRegistry",
     "TokenBucket",

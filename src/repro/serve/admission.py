@@ -73,12 +73,17 @@ class AdmissionController:
                 self._buckets[tenant.name] = bucket
             return bucket
 
-    def admit(self, tenant: Tenant, queue_depth: int, now: float) -> None:
+    def admit(
+        self, tenant: Tenant, queue_depth: int, now: float, tenant_depth: int = 0
+    ) -> None:
         """Raise a typed shed error unless the request may be queued.
 
         The tenant's bucket is checked first so an over-limit tenant sees
         :class:`RateLimitedError` (its own fault) rather than the global
-        queue-full rejection.
+        queue-full rejection; a tenant with a ``max_queue_share`` is then
+        capped at its own slice of the queue bound (``reason='tenant_share'``
+        — also its own fault, and the reason a flooding tenant cannot fill
+        the queue against everyone else).
         """
         bucket = self.bucket_for(tenant)
         if bucket is not None and not bucket.try_acquire(now):
@@ -86,6 +91,14 @@ class AdmissionController:
                 f"tenant '{tenant.name}' is over its rate limit "
                 f"({tenant.rate_limit:g} requests/s)"
             )
+        if tenant.max_queue_share is not None:
+            allowance = max(1, int(tenant.max_queue_share * self.max_queue_depth))
+            if tenant_depth >= allowance:
+                raise AdmissionRejectedError(
+                    f"tenant '{tenant.name}' is over its queue share "
+                    f"({tenant_depth}/{allowance} of {self.max_queue_depth})",
+                    reason="tenant_share",
+                )
         if queue_depth >= self.max_queue_depth:
             raise AdmissionRejectedError(
                 f"serve queue full ({queue_depth}/{self.max_queue_depth})"

@@ -49,6 +49,12 @@ class MicroBatcher:
         if key is None or self.max_batch <= 1:
             return batch
         deadline = time.monotonic() + self.window_seconds
+        # Never let batch collection eat the leader's own deadline: a
+        # request due sooner than the window closes collection early and
+        # executes with whatever riders are already there.
+        leader_deadline = getattr(leader, "deadline", None)
+        if leader_deadline is not None:
+            deadline = min(deadline, leader_deadline)
         while len(batch) < self.max_batch:
             # Read the arrival counter BEFORE draining: a put landing
             # between the drain and the wait then wakes the wait

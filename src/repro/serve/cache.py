@@ -39,6 +39,10 @@ distance produced by the same kernel calls).
 The cache is a lock leaf: methods never call into the engine or telemetry
 while holding the lock; :meth:`put` returns the eviction count so the
 caller can record metrics outside it.
+
+:class:`ServeResultCache` composes one :class:`ResultCache` per tenant so
+one tenant's churn can never evict another tenant's hot entries; the
+server routes every probe/fill through the caller's partition.
 """
 
 from __future__ import annotations
@@ -52,7 +56,7 @@ import numpy as np
 from ..analysis.hooks import schedule_point
 from ..errors import ServeError
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "ServeResultCache"]
 
 # Rough per-entry accounting: a (dist, vtype, vid) triple plus dict/key
 # overhead.  Exactness doesn't matter — the bound just has to scale with
@@ -165,3 +169,106 @@ class ResultCache:
                 "hit_ratio": (self._hits / lookups) if lookups else 0.0,
                 "kernels": kernels,
             }
+
+
+class ServeResultCache:
+    """Per-tenant partitioned result cache (noisy-neighbor isolation).
+
+    One :class:`ResultCache` partition per tenant, created lazily on first
+    use and bounded *individually*: tenant B churning through thousands of
+    distinct queries can only evict entries from B's own partition, so
+    tenant A's hot entries — and with them A's hit rate and latency — are
+    untouched by B's flood.  Partition bounds default to a quarter of the
+    configured totals (a server rarely has more than a handful of hot
+    tenants; a tenant explosion degrades capacity per tenant, never
+    correctness).
+
+    Same locking stance as :class:`ResultCache`: partitions are lock
+    leaves, and the partition map has its own leaf lock that never nests
+    inside a partition's.
+    """
+
+    _DEFAULT_SPLIT = 4
+
+    def __init__(
+        self,
+        max_bytes: int = 32 << 20,
+        max_entries: int = 1024,
+        partition_max_bytes: int | None = None,
+        partition_max_entries: int | None = None,
+    ):
+        if max_bytes < 1 or max_entries < 1:
+            raise ServeError("cache bounds must be positive")
+        self.partition_max_bytes = int(
+            partition_max_bytes
+            if partition_max_bytes is not None
+            else max(1, max_bytes // self._DEFAULT_SPLIT)
+        )
+        self.partition_max_entries = int(
+            partition_max_entries
+            if partition_max_entries is not None
+            else max(1, max_entries // self._DEFAULT_SPLIT)
+        )
+        self._lock = threading.Lock()
+        self._partitions: dict[str, ResultCache] = {}
+
+    key = staticmethod(ResultCache.key)
+
+    def partition(self, tenant_name: str) -> ResultCache:
+        """The tenant's partition, created on first use."""
+        with self._lock:
+            part = self._partitions.get(tenant_name)
+            if part is None:
+                part = ResultCache(
+                    self.partition_max_bytes, self.partition_max_entries
+                )
+                self._partitions[tenant_name] = part
+            return part
+
+    def get(self, tenant_name: str, key: tuple):
+        return self.partition(tenant_name).get(key)
+
+    def put(self, tenant_name: str, key: tuple, value: tuple, kernel: str = "hnsw") -> int:
+        return self.partition(tenant_name).put(key, value, kernel=kernel)
+
+    def kernel(self, tenant_name: str, key: tuple) -> str | None:
+        return self.partition(tenant_name).kernel(key)
+
+    def clear(self) -> None:
+        with self._lock:
+            partitions = list(self._partitions.values())
+        for part in partitions:
+            part.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            partitions = list(self._partitions.values())
+        return sum(len(part) for part in partitions)
+
+    def stats(self) -> dict:
+        """Aggregate stats plus a ``per_tenant`` breakdown.
+
+        Aggregate keys match :meth:`ResultCache.stats` so callers written
+        against the unpartitioned cache keep working unchanged.
+        """
+        with self._lock:
+            partitions = dict(self._partitions)
+        per_tenant = {name: part.stats() for name, part in sorted(partitions.items())}
+        total = {
+            "entries": 0,
+            "bytes": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+        kernels: dict[str, int] = {}
+        for stats in per_tenant.values():
+            for field in total:
+                total[field] += stats[field]
+            for kernel, count in stats["kernels"].items():
+                kernels[kernel] = kernels.get(kernel, 0) + count
+        lookups = total["hits"] + total["misses"]
+        total["hit_ratio"] = (total["hits"] / lookups) if lookups else 0.0
+        total["kernels"] = kernels
+        total["per_tenant"] = per_tenant
+        return total

@@ -96,6 +96,13 @@ def run_demo(args) -> int:
             f"  cache: {cache['hits']} hits / {cache['misses']} misses "
             f"(hit ratio {cache['hit_ratio']:.1%}, {cache['entries']} entries)"
         )
+        for tenant in sorted(cache.get("per_tenant", {})):
+            part = cache["per_tenant"][tenant]
+            print(
+                f"    tenant {tenant}: {part['hits']} hits / "
+                f"{part['misses']} misses, {part['entries']} entries, "
+                f"{part['bytes']} bytes"
+            )
     return 0
 
 

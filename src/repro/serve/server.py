@@ -28,6 +28,23 @@ Correctness contracts:
   may observe a post-commit watermark with a pre-commit snapshot; such
   results are served but never cached (see cache.py for the full
   interleaving analysis).
+- **SLA path**: requests carrying ``max_staleness`` (maximum tolerated
+  watermark-TID lag) or a read-your-writes ``session_token`` (a commit
+  TID the serving snapshot must cover) take a dedicated pin/validate/
+  re-pin loop: serve when the contract holds, wait (bounded by
+  ``staleness_wait`` and the request deadline) when it does not, and fail
+  with a typed :class:`~repro.errors.StalenessBoundError` when the budget
+  runs out.  An SLA response is therefore never silently stale.
+- **Tenant isolation**: the result cache is partitioned per tenant
+  (:class:`~repro.serve.cache.ServeResultCache`) and tenants may carry a
+  ``max_queue_share`` admission bound, so one tenant's flood can neither
+  evict another's hot entries nor fill the shared queue.
+- **Chaos hardening**: with a :class:`~repro.faults.FaultInjector`
+  attached, injected worker crashes re-queue the in-flight batch (bounded
+  by the policy's ``max_attempts``) and respawn a replacement worker;
+  injected stalls delay one batch while other workers drain the queue;
+  and a fused batch poisoned by injected segment faults degrades to
+  per-query execution instead of failing every rider.
 """
 
 from __future__ import annotations
@@ -52,12 +69,13 @@ from ..errors import (
     RateLimitedError,
     ReproError,
     ServeError,
+    StalenessBoundError,
 )
-from ..faults import ResiliencePolicy
+from ..faults import FaultInjector, ResiliencePolicy
 from ..telemetry import get_telemetry
 from .admission import AdmissionController
 from .batcher import MicroBatcher
-from .cache import ResultCache
+from .cache import ResultCache, ServeResultCache
 from .tenancy import Tenant, TenantRegistry, WeightedFairQueue
 
 __all__ = ["QueryServer", "ServeConfig", "ServeFuture"]
@@ -76,9 +94,20 @@ class ServeConfig:
     enable_cache: bool = True
     cache_max_bytes: int = 32 << 20
     cache_max_entries: int = 1024
+    #: Per-tenant cache partition bounds; None derives a quarter of the
+    #: totals (see :class:`~repro.serve.cache.ServeResultCache`).
+    cache_partition_max_bytes: int | None = None
+    cache_partition_max_entries: int | None = None
     #: Per-request deadline (seconds from submit).  None defers to the
     #: resilience policy's deadline; both None means no deadline.
     default_timeout: float | None = None
+    #: Staleness bound applied to requests that don't specify their own
+    #: ``max_staleness`` (None = no default bound).
+    default_max_staleness: int | None = None
+    #: How long an SLA-bound request may wait (re-pinning snapshots) for
+    #: its freshness contract before failing typed; the request deadline
+    #: caps this further when sooner.
+    staleness_wait: float = 0.05
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -89,6 +118,10 @@ class ServeConfig:
             raise ServeError("batch_window_seconds must be non-negative")
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ServeError("default_timeout must be positive")
+        if self.default_max_staleness is not None and self.default_max_staleness < 0:
+            raise ServeError("default_max_staleness must be non-negative")
+        if self.staleness_wait < 0:
+            raise ServeError("staleness_wait must be non-negative")
 
 
 class ServeFuture:
@@ -143,15 +176,27 @@ class QueryRequest:
     text: str = ""
     params: dict = field(default_factory=dict)
     no_cache: bool = False
+    max_staleness: int | None = None
+    session_token: int | None = None
+    #: Execution attempts so far; bumped when a crashed worker's batch is
+    #: re-queued, bounded by the resilience policy's ``max_attempts``.
+    attempts: int = 0
+
+    @property
+    def sla_bound(self) -> bool:
+        """True when the request carries a freshness/session contract."""
+        return self.max_staleness is not None or self.session_token is not None
 
     def batch_key(self) -> tuple | None:
         """Fusion compatibility key; None means unbatchable.
 
         Filtered searches and tenants with restricted roles execute
-        per-request (their validity masks differ per caller).  Everything
-        else groups by ``(attributes, k, ef)``: default-``ef`` batches run
-        the exact fused scan, and explicit-``ef`` batches run the lockstep
-        fused HNSW kernel (:meth:`HNSWIndex.topk_search_multi` via
+        per-request (their validity masks differ per caller), and
+        SLA-bound requests execute per-request too (each needs its own
+        snapshot pin/validate/wait loop).  Everything else groups by
+        ``(attributes, k, ef)``: default-``ef`` batches run the exact
+        fused scan, and explicit-``ef`` batches run the lockstep fused
+        HNSW kernel (:meth:`HNSWIndex.topk_search_multi` via
         :meth:`EmbeddingStore.search_segment_multi`), which honours the
         requested accuracy contract and returns results identical to the
         per-query path.
@@ -160,6 +205,7 @@ class QueryRequest:
             self.kind != "vector"
             or self.filter is not None
             or self.tenant.role != "admin"
+            or self.sla_bound
         ):
             return None
         return (self.vector_attributes, self.k, self.ef)
@@ -189,11 +235,15 @@ class QueryServer:
         config: ServeConfig | None = None,
         tenants=None,
         policy: ResiliencePolicy | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.db = db
         self.config = config or ServeConfig()
         self.registry = TenantRegistry(tenants)
         self.policy = policy if policy is not None else ResiliencePolicy()
+        #: Optional chaos harness: when set, workers consult it at every
+        #: dequeue for injected crashes/stalls (see ``repro.faults``).
+        self.injector = injector
         self.queue = WeightedFairQueue(self.registry)
         self.admission = AdmissionController(self.registry, self.config.max_queue_depth)
         self.batcher = (
@@ -204,7 +254,12 @@ class QueryServer:
             else None
         )
         self.cache = (
-            ResultCache(self.config.cache_max_bytes, self.config.cache_max_entries)
+            ServeResultCache(
+                self.config.cache_max_bytes,
+                self.config.cache_max_entries,
+                partition_max_bytes=self.config.cache_partition_max_bytes,
+                partition_max_entries=self.config.cache_partition_max_entries,
+            )
             if self.config.enable_cache
             else None
         )
@@ -212,8 +267,19 @@ class QueryServer:
         self._workers: list[threading.Thread] = []
         self._running = False
         self._stopped = False
+        # Monotone dequeue ordinal feeding the fault injector's
+        # worker-crash/stall schedule (1-based, like commit ordinals).
+        self._dequeue_lock = threading.Lock()
+        self._dequeues = 0
+        self._worker_seq = 0
 
     # ------------------------------------------------------------ lifecycle
+    def _make_worker(self, seq: int) -> threading.Thread:
+        """Build (but do not register or start) one worker thread."""
+        return threading.Thread(
+            target=self._worker_loop, name=f"serve-worker-{seq}", daemon=True
+        )
+
     def start(self) -> "QueryServer":
         with self._lifecycle_lock:
             if self._running:
@@ -221,10 +287,9 @@ class QueryServer:
             if self._stopped:
                 raise ServeError("QueryServer cannot be restarted after stop()")
             self._running = True
-            for i in range(self.config.workers):
-                worker = threading.Thread(
-                    target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
-                )
+            for _ in range(self.config.workers):
+                worker = self._make_worker(self._worker_seq)
+                self._worker_seq += 1
                 self._workers.append(worker)
                 worker.start()
         return self
@@ -273,15 +338,22 @@ class QueryServer:
             raise ServeError("QueryServer is not running; call start() first")
         try:
             self.admission.admit(
-                request.tenant, self.queue.depth(), request.submitted_at
+                request.tenant,
+                self.queue.depth(),
+                request.submitted_at,
+                tenant_depth=self.queue.depth_for(request.tenant.name),
             )
         except RateLimitedError:
             tel.inc("serve.shed")
             tel.inc("serve.shed_rate_limited")
             raise
-        except AdmissionRejectedError:
+        except AdmissionRejectedError as exc:
             tel.inc("serve.shed")
-            tel.inc("serve.shed_queue_full")
+            tel.inc(
+                "serve.shed_tenant_share"
+                if exc.reason == "tenant_share"
+                else "serve.shed_queue_full"
+            )
             raise
         depth = self.queue.put(request, request.tenant.name)
         tel.set_gauge("serve.queue_depth", depth)
@@ -299,10 +371,28 @@ class QueryServer:
         distance_map=None,
         timeout: float | None = None,
         no_cache: bool = False,
+        max_staleness: int | None = None,
+        session_token: int | None = None,
     ) -> ServeFuture:
-        """Queue a VectorSearch; returns a future (may raise a shed error)."""
+        """Queue a VectorSearch; returns a future (may raise a shed error).
+
+        ``max_staleness`` bounds the watermark-TID lag of the serving
+        snapshot (0 = insist on a snapshot covering every observed
+        watermark); ``session_token`` is a commit TID (as returned by
+        ``Transaction.commit`` / ``GraphStore.session_token``) the serving
+        snapshot must cover — read-your-writes for the session that
+        performed the commit.  Either makes the request SLA-bound: served
+        fresh, or failed with :class:`~repro.errors.StalenessBoundError`;
+        never silently stale.
+        """
         tenant_obj = self.registry.get(tenant)
         submitted_at = time.monotonic()
+        if max_staleness is None:
+            max_staleness = self.config.default_max_staleness
+        if max_staleness is not None and max_staleness < 0:
+            raise ServeError("max_staleness must be non-negative")
+        if session_token is not None and session_token < 0:
+            raise ServeError("session_token must be a commit TID (>= 0)")
         request = QueryRequest(
             kind="vector",
             tenant=tenant_obj,
@@ -316,6 +406,8 @@ class QueryServer:
             filter=filter,
             distance_map=distance_map,
             no_cache=no_cache,
+            max_staleness=max_staleness,
+            session_token=session_token,
         )
         return self._submit(request)
 
@@ -358,13 +450,71 @@ class QueryServer:
                 if self.queue.closed:
                     return
                 continue
+            injector = self.injector
+            ordinal = 0
+            if injector is not None:
+                with self._dequeue_lock:
+                    self._dequeues += 1
+                    ordinal = self._dequeues
+                stall = injector.worker_stall_seconds(ordinal)
+                if stall > 0:
+                    # Straggling worker: hold the dequeued request while the
+                    # other workers keep draining the queue.  The stalled
+                    # request completes late or fails typed at its deadline
+                    # (_shed_expired) — never silently.
+                    tel.inc("serve.worker_stalls")
+                    time.sleep(stall)
             if self.batcher is not None:
                 batch = self.batcher.collect(request)
             else:
                 batch = [request]
+            if injector is not None and injector.worker_crash_due(ordinal):
+                # The worker dies with the batch in hand: re-queue every
+                # member (bounded by the policy) and respawn a replacement
+                # so capacity recovers.  This thread then exits = "crash".
+                tel.inc("serve.worker_crashes")
+                self._requeue_after_crash(batch)
+                self._respawn_worker()
+                return
             tel.inc("serve.batches")
             tel.observe("serve.batch_size", len(batch))
             self._execute_batch(batch)
+
+    def _requeue_after_crash(self, batch: list) -> None:
+        """Put a dead worker's in-flight requests back on the queue.
+
+        Each request carries an attempt count; one that has already been
+        through ``max_attempts`` workers fails typed instead of cycling
+        forever through a crash-looping server.
+        """
+        tel = get_telemetry()
+        for request in batch:
+            request.attempts += 1
+            if request.attempts >= self.policy.max_attempts:
+                self._finish(
+                    request,
+                    error=FaultInjectionError(
+                        f"request lost to {request.attempts} worker crash(es); "
+                        f"retry budget exhausted"
+                    ),
+                )
+                continue
+            try:
+                self.queue.put(request, request.tenant.name)
+            except AdmissionRejectedError as exc:
+                self._finish(request, error=exc)
+                continue
+            tel.inc("serve.worker_requeues")
+
+    def _respawn_worker(self) -> None:
+        with self._lifecycle_lock:
+            if not self._running:
+                return
+            worker = self._make_worker(self._worker_seq)
+            self._worker_seq += 1
+            self._workers.append(worker)
+            worker.start()
+        get_telemetry().inc("serve.worker_respawns")
 
     def _finish(self, request: QueryRequest, value=None, error=None) -> None:
         if error is not None:
@@ -385,6 +535,12 @@ class QueryServer:
             if live[0].kind == "gsql":
                 for request in live:
                     self._execute_gsql(request)
+            elif live[0].sla_bound:
+                # SLA-bound requests never fuse (batch_key is None), so
+                # the batch is a singleton; each takes the dedicated
+                # pin/validate/wait loop.
+                for request in live:
+                    self._execute_sla(request)
             else:
                 self._execute_vector(live)
         except Exception as exc:
@@ -485,7 +641,7 @@ class QueryServer:
                     request.ef,
                     watermarks,
                 )
-                hit = cache.get(key)
+                hit = cache.get(request.tenant.name, key)
                 if hit is not None:
                     tel.inc("serve.cache_hits")
                     self._finish(
@@ -526,6 +682,110 @@ class QueryServer:
             for request, key in singles:
                 self._execute_single(request, key, snapshot)
 
+    # ------------------------------------------------------------ SLA path
+    #: Snapshot re-pin cadence while waiting out a freshness violation.
+    _SLA_RETRY_SLEEP = 0.0005
+
+    def _execute_sla(self, request: QueryRequest) -> None:
+        """Serve one staleness-bounded / read-your-writes request.
+
+        Loop: read watermarks, pin a snapshot, validate the contract —
+        ``watermark_tid`` lag within ``max_staleness``, snapshot TID
+        covering ``session_token`` — then serve; otherwise release the
+        snapshot and re-pin until the wait budget (``staleness_wait``,
+        capped by the request deadline) runs out, at which point the
+        request fails with a typed :class:`StalenessBoundError`.  The
+        violation window is the mid-publication commit interleaving
+        (embedding hooks fired, ``last_tid`` unpublished), so waits are
+        normally a handful of re-pins.
+        """
+        tel = get_telemetry()
+        started = time.monotonic()
+        limit = started + self.config.staleness_wait
+        if request.deadline is not None:
+            limit = min(limit, request.deadline)
+        while True:
+            try:
+                marks = self._watermarks(request.vector_attributes)
+            except ReproError as exc:
+                self._finish(request, error=exc)
+                return
+            stale = behind = False
+            lag = 0
+            with self.db.snapshot() as snapshot:
+                lag = EmbeddingStore.watermark_lag(marks, snapshot.tid)
+                stale = (
+                    request.max_staleness is not None
+                    and lag > request.max_staleness
+                )
+                behind = (
+                    request.session_token is not None
+                    and snapshot.tid < request.session_token
+                )
+                if not stale and not behind:
+                    key = None
+                    if request.cacheable and self.cache is not None:
+                        if lag == 0:
+                            # Same key discipline as the fast path: the
+                            # snapshot covers every watermark component, so
+                            # a hit is consistent and a fill is safe.
+                            key = ResultCache.key(
+                                request.vector_attributes,
+                                request.query,
+                                request.k,
+                                request.ef,
+                                marks,
+                            )
+                            hit = self.cache.get(request.tenant.name, key)
+                            if hit is not None:
+                                tel.inc("serve.cache_hits")
+                                self._finish(
+                                    request,
+                                    value=build_topk_vertex_set(
+                                        list(hit), request.distance_map
+                                    ),
+                                )
+                                return
+                            tel.inc("serve.cache_misses")
+                        else:
+                            # Tolerated nonzero lag (max_staleness > 0 over
+                            # a mid-publication window): serve uncached,
+                            # exactly like the commit-race bypass.
+                            tel.inc("serve.cache_bypass_commit_race")
+                    self._execute_single(request, key, snapshot)
+                    return
+            now = time.monotonic()
+            if now >= limit:
+                waited = now - started
+                if behind:
+                    tel.inc("serve.session_token_rejections")
+                    self._finish(
+                        request,
+                        error=StalenessBoundError(
+                            f"no snapshot covering session token "
+                            f"{request.session_token} within {waited:.3f}s",
+                            session_token=request.session_token,
+                            waited=waited,
+                        ),
+                    )
+                else:
+                    tel.inc("serve.staleness_rejections")
+                    self._finish(
+                        request,
+                        error=StalenessBoundError(
+                            f"snapshot lag {lag} exceeds max_staleness "
+                            f"{request.max_staleness} after {waited:.3f}s",
+                            max_staleness=request.max_staleness,
+                            lag=lag,
+                            waited=waited,
+                        ),
+                    )
+                return
+            tel.inc(
+                "serve.session_token_waits" if behind else "serve.staleness_waits"
+            )
+            time.sleep(min(self._SLA_RETRY_SLEEP, limit - now))
+
     def _execute_fused(self, fusable: list, snapshot) -> None:
         tel = get_telemetry()
         requests = [request for request, _ in fusable]
@@ -543,6 +803,15 @@ class QueryServer:
                     min_fused=2,  # the batcher already decided to fuse
                 )
             )
+        except FaultInjectionError:
+            # Poisoned fused batch: one injected segment fault survived the
+            # retry budget.  Degrade to per-query execution on the same
+            # snapshot so one bad scan cannot fail every rider — each
+            # single retries independently and, at worst, fails typed.
+            tel.inc("serve.batch_poison_degrades")
+            for request, key in fusable:
+                self._execute_single(request, key, snapshot)
+            return
         except ReproError as exc:
             for request in requests:
                 self._finish(request, error=exc)
@@ -554,7 +823,9 @@ class QueryServer:
         evictions = 0
         for (request, key), top in zip(fusable, tops):
             if key is not None and self.cache is not None:
-                evictions += self.cache.put(key, tuple(top), kernel=kernel)
+                evictions += self.cache.put(
+                    request.tenant.name, key, tuple(top), kernel=kernel
+                )
             self._finish(
                 request, value=build_topk_vertex_set(top, request.distance_map)
             )
@@ -596,7 +867,9 @@ class QueryServer:
             self._finish(request, error=exc)
             return
         if key is not None and self.cache is not None:
-            evicted = self.cache.put(key, tuple(top), kernel="hnsw")
+            evicted = self.cache.put(
+                request.tenant.name, key, tuple(top), kernel="hnsw"
+            )
             if evicted:
                 tel.inc("serve.cache_evictions", evicted)
         self._finish(

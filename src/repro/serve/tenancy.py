@@ -36,6 +36,10 @@ class Tenant:
     rate_limit: float | None = None  # sustained requests/second; None = unlimited
     burst: float | None = None  # token-bucket capacity; default max(1, rate_limit)
     allow_writes: bool = True
+    #: Fraction of the server's queue bound this tenant may occupy alone
+    #: (None = no per-tenant cap).  A flooding tenant then sheds at its own
+    #: share instead of filling the whole queue against everyone else.
+    max_queue_share: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -44,6 +48,10 @@ class Tenant:
             raise ServeError(f"tenant '{self.name}': weight must be positive")
         if self.rate_limit is not None and self.rate_limit <= 0:
             raise ServeError(f"tenant '{self.name}': rate_limit must be positive")
+        if self.max_queue_share is not None and not 0.0 < self.max_queue_share <= 1.0:
+            raise ServeError(
+                f"tenant '{self.name}': max_queue_share must be in (0, 1]"
+            )
 
 
 class TenantRegistry:
@@ -124,6 +132,12 @@ class WeightedFairQueue:
     def depth(self) -> int:
         with self._cond:
             return self._size
+
+    def depth_for(self, tenant_name: str) -> int:
+        """How many queued requests belong to one tenant (admission input)."""
+        with self._cond:
+            queue = self._queues.get(tenant_name)
+            return len(queue) if queue else 0
 
     def _pop_fair(self, eligible: list[str]):  # repro: noqa[R001] -- only reachable from take/drain_matching, which hold _cond
         """Pop from the eligible tenant with the smallest pass (cond held)."""

@@ -193,6 +193,7 @@ class GSQLShell:
                     thread.start()
                 for thread in threads:
                     thread.join()
+                stats = server.stats()
             wall = time.perf_counter() - start
         self._print(
             f"served {queries} queries on {attr} in {wall * 1e3:.1f} ms "
@@ -202,6 +203,14 @@ class GSQLShell:
         for name in sorted(counters):
             if name.startswith("serve."):
                 self._print(f"  {name} = {counters[name]}")
+        cache = stats["cache"]
+        if cache is not None:
+            for tenant in sorted(cache.get("per_tenant", {})):
+                part = cache["per_tenant"][tenant]
+                self._print(
+                    f"  cache[{tenant}]: {part['hits']} hits / "
+                    f"{part['misses']} misses, {part['entries']} entries"
+                )
 
     def handle_statement(self, text: str) -> None:
         try:

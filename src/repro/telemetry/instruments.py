@@ -33,6 +33,10 @@ INSTRUMENTS: dict[str, tuple[str, str]] = {
     "vacuum.index_merge_seconds": ("histogram", "stage-2 index merge duration"),
     "vacuum.versions_reclaimed": ("counter", "MVCC snapshot versions reclaimed"),
     "vacuum.records_merged": ("counter", "delta records flushed into segments"),
+    "vacuum.quota_deferrals": (
+        "counter",
+        "store merges deferred a round because the owning tenant hit its quota",
+    ),
     # ---- WAL -------------------------------------------------------------
     "wal.records": ("counter", "WAL records appended"),
     "wal.flushes": ("counter", "WAL buffer flushes"),
@@ -71,6 +75,37 @@ INSTRUMENTS: dict[str, tuple[str, str]] = {
     "serve.cache_bypass_commit_race": (
         "counter",
         "results served uncached: watermark outran the pinned snapshot mid-commit",
+    ),
+    "serve.shed_tenant_share": (
+        "counter",
+        "admission rejections: tenant exceeded its queue-share bound",
+    ),
+    "serve.staleness_rejections": (
+        "counter",
+        "requests failed typed: max_staleness unmet within the wait budget",
+    ),
+    "serve.staleness_waits": (
+        "counter",
+        "snapshot re-pins while waiting for a fresh-enough snapshot",
+    ),
+    "serve.session_token_rejections": (
+        "counter",
+        "requests failed typed: session token never covered by a snapshot",
+    ),
+    "serve.session_token_waits": (
+        "counter",
+        "snapshot re-pins while waiting for a token-covering snapshot",
+    ),
+    "serve.worker_crashes": ("counter", "injected serve-worker crashes"),
+    "serve.worker_respawns": ("counter", "replacement workers spawned after a crash"),
+    "serve.worker_requeues": (
+        "counter",
+        "in-flight requests re-queued after their worker crashed",
+    ),
+    "serve.worker_stalls": ("counter", "injected serve-worker stalls (stragglers)"),
+    "serve.batch_poison_degrades": (
+        "counter",
+        "fused batches degraded to per-query execution after injected faults",
     ),
     "serve.queue_depth": ("gauge", "requests waiting in the weighted-fair queue"),
     "serve.batch_size": ("histogram", "requests fused per executed micro-batch"),

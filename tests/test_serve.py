@@ -28,7 +28,9 @@ from repro.errors import (
     IndexPersistenceError,
     QueryTimeoutError,
     RateLimitedError,
+    ReproError,
     ServeError,
+    StalenessBoundError,
     VectorSearchError,
 )
 from repro.faults import ResiliencePolicy
@@ -696,3 +698,397 @@ class TestOpenLoopLoadGen:
         )
         c = gen.run_open_loop(times, duration_seconds=1.0, target_qps=100, seed=4)
         assert (a.offered, a.qps) != (c.offered, c.qps)
+
+
+# --------------------------------------------------------------------------
+# freshness SLAs: staleness-bounded reads & read-your-writes tokens
+# --------------------------------------------------------------------------
+
+
+class TestSLA:
+    def test_staleness_bound_serves_fresh_when_idle(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=2, enable_batching=False)
+        q = rng.standard_normal(16).astype(np.float32)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+            got = members(server.search(["Post.content_emb"], q, 5, max_staleness=0))
+            direct = members(db.vector_search(["Post.content_emb"], q, 5))
+        assert got == direct
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters.get("serve.staleness_rejections", 0) == 0
+        assert counters["serve.completed"] == 1
+
+    def test_sla_requests_use_partitioned_cache(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=2, enable_batching=False)
+        q = rng.standard_normal(16).astype(np.float32)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+            first = members(server.search(["Post.content_emb"], q, 5, max_staleness=0))
+            second = members(server.search(["Post.content_emb"], q, 5, max_staleness=0))
+        assert first == second
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters.get("serve.cache_hits", 0) >= 1
+
+    def test_read_your_writes_after_commit(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=2, enable_batching=False)
+        q = rng.standard_normal(16).astype(np.float32)
+        with db.begin() as txn:
+            txn.upsert_vertex("Post", 900, {"language": "en", "length": 1})
+            txn.set_embedding("Post", 900, "content_emb", q)
+        token = db.session_token()
+        with QueryServer(db, config) as server:
+            got = server.search(["Post.content_emb"], q, 3, session_token=token)
+        vid = db.store.vid_for_pk("Post", 900)
+        assert ("Post", vid) in got
+
+    def test_future_token_fails_typed(self, loaded_post_db, rng):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, enable_batching=False, staleness_wait=0.02)
+        q = rng.standard_normal(16).astype(np.float32)
+        token = db.session_token() + 3  # a commit that will never happen here
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+            with pytest.raises(StalenessBoundError) as excinfo:
+                server.search(["Post.content_emb"], q, 3, session_token=token)
+        assert excinfo.value.session_token == token
+        assert excinfo.value.waited > 0
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.session_token_rejections"] == 1
+        assert counters.get("serve.session_token_waits", 0) >= 1
+
+    def test_midcommit_window_fails_fast_or_serves_tolerant(
+        self, loaded_post_db, rng
+    ):
+        """Freeze the commit mid-publication (hook fired, last_tid not yet
+        published): a ``max_staleness=0`` request must fail typed, never
+        serve silently stale, while a lag-tolerant request is served from
+        the pre-commit snapshot without being cached.  The config-level
+        ``default_max_staleness`` applies to requests that don't pass their
+        own bound."""
+        db = loaded_post_db
+        config = ServeConfig(
+            workers=2, enable_batching=False,
+            default_max_staleness=0, staleness_wait=0.05,
+        )
+        q = rng.standard_normal(16).astype(np.float32)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stalling_hook(tid, ops):
+            entered.set()
+            release.wait(timeout=30)
+
+        db.store.register_embedding_hook(stalling_hook)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+
+            def commit():
+                with db.begin() as txn:
+                    txn.upsert_vertex("Post", 901, {"language": "en", "length": 1})
+                    txn.set_embedding("Post", 901, "content_emb", q)
+
+            committer = threading.Thread(target=commit)
+            committer.start()
+            assert entered.wait(timeout=10), "commit never reached the hook"
+            # default_max_staleness=0 routes the plain search down the SLA
+            # path; the watermark runs ahead of every pinnable snapshot for
+            # as long as the commit is wedged, so it must fail typed.
+            with pytest.raises(StalenessBoundError) as excinfo:
+                server.search(["Post.content_emb"], q, 3)
+            assert excinfo.value.lag >= 1
+            assert excinfo.value.max_staleness == 0
+            # An explicit lag-tolerant bound overrides the default and is
+            # served from the pre-commit snapshot (uncached: commit race).
+            tolerant = server.search(["Post.content_emb"], q, 3, max_staleness=5)
+            vid = db.store.vid_for_pk("Post", 901)
+            assert ("Post", vid) not in tolerant
+            release.set()
+            committer.join(timeout=30)
+            assert not committer.is_alive()
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.staleness_rejections"] == 1
+        assert counters.get("serve.staleness_waits", 0) >= 1
+        assert counters.get("serve.cache_bypass_commit_race", 0) >= 1
+
+    def test_session_token_closes_commit_publish_window(self, loaded_post_db, rng):
+        """The token-vs-commit-publish interleaving: a client holding the
+        wedged commit's TID as its session token must not be served from a
+        pre-commit snapshot — the server waits until the commit publishes,
+        then serves a top-k containing the client's own write."""
+        db = loaded_post_db
+        config = ServeConfig(workers=2, enable_batching=False, staleness_wait=5.0)
+        q = rng.standard_normal(16).astype(np.float32)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stalling_hook(tid, ops):
+            entered.set()
+            release.wait(timeout=30)
+
+        db.store.register_embedding_hook(stalling_hook)
+        token = db.session_token() + 1  # the wedged commit's TID
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config) as server:
+
+            def commit():
+                with db.begin() as txn:
+                    txn.upsert_vertex("Post", 902, {"language": "en", "length": 1})
+                    txn.set_embedding("Post", 902, "content_emb", q)
+
+            committer = threading.Thread(target=commit)
+            committer.start()
+            assert entered.wait(timeout=10), "commit never reached the hook"
+            future = server.submit_search(
+                ["Post.content_emb"], q, 3, session_token=token
+            )
+            # The server must be observably *waiting* (re-pinning snapshots),
+            # not serving behind the token, before we let the commit publish.
+            assert wait_until(
+                lambda: telemetry.registry.snapshot()["counters"].get(
+                    "serve.session_token_waits", 0
+                )
+                > 0
+            ), "SLA path never waited on the unpublished commit"
+            release.set()
+            committer.join(timeout=30)
+            got = future.result(timeout=10)
+            vid = db.store.vid_for_pk("Post", 902)
+            assert ("Post", vid) in got, "read-your-writes served a stale top-k"
+
+    def test_invalid_sla_arguments_rejected(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(16).astype(np.float32)
+        with QueryServer(db, ServeConfig(workers=1)) as server:
+            with pytest.raises(ServeError):
+                server.submit_search(["Post.content_emb"], q, 3, max_staleness=-1)
+            with pytest.raises(ServeError):
+                server.submit_search(["Post.content_emb"], q, 3, session_token=-2)
+
+
+# --------------------------------------------------------------------------
+# noisy-neighbor isolation: cache partitions, queue shares, vacuum quotas
+# --------------------------------------------------------------------------
+
+
+def add_person_embeddings(db, rng, count=40, dim=16):
+    """Give Person its own embedding attribute + store (tenant B's data)."""
+    db.schema.add_embedding_attribute(
+        "Person", "emb", dimension=dim, model="GPT4", metric=Metric.L2
+    )
+    with db.begin() as txn:
+        for i in range(count):
+            txn.upsert_vertex("Person", 100 + i, {"firstName": f"B{i}"})
+            txn.set_embedding(
+                "Person", 100 + i, "emb",
+                rng.standard_normal(dim).astype(np.float32),
+            )
+
+
+class TestNoisyNeighbor:
+    def test_flooding_tenant_cannot_evict_neighbor_cache(self, loaded_post_db, rng):
+        """Tenant B floods its own partition past its entry bound while
+        tenant A replays a hot query set; A's entries and hit rate must
+        hold because the cache is partitioned per tenant and B's commits
+        only move B's store watermark."""
+        db = loaded_post_db
+        add_person_embeddings(db, rng)
+        db.vacuum()
+        config = ServeConfig(
+            workers=2, enable_batching=False, cache_partition_max_entries=8
+        )
+        tenants = [Tenant("a"), Tenant("b")]
+        hot = rng.standard_normal((4, 16)).astype(np.float32)
+        flood = rng.standard_normal((48, 16)).astype(np.float32)
+        with QueryServer(db, config, tenants=tenants) as server:
+            for q in hot:  # warm A's partition
+                server.search(["Post.content_emb"], q, 3, tenant="a")
+            for q in flood[:24]:
+                server.search(["Person.emb"], q, 3, tenant="b")
+            with db.begin() as txn:  # B commits on its own attribute only
+                txn.set_embedding(
+                    "Person", 100, "emb", rng.standard_normal(16).astype(np.float32)
+                )
+            for q in flood[24:]:
+                server.search(["Person.emb"], q, 3, tenant="b")
+            for q in hot:  # A replays: every probe must hit
+                server.search(["Post.content_emb"], q, 3, tenant="a")
+            stats = server.cache.stats()
+        part_a = stats["per_tenant"]["a"]
+        part_b = stats["per_tenant"]["b"]
+        assert part_a["hits"] == 4 and part_a["misses"] == 4
+        assert part_a["entries"] == 4
+        assert part_b["evictions"] > 0, "flood must overflow B's partition"
+        assert part_b["entries"] <= 8
+        # Aggregate stats remain the sum of the partitions.
+        assert stats["hits"] == part_a["hits"] + part_b["hits"]
+
+    def test_neighbor_latency_holds_under_concurrent_flood(
+        self, loaded_post_db, rng
+    ):
+        db = loaded_post_db
+        add_person_embeddings(db, rng)
+        db.vacuum()
+        config = ServeConfig(workers=3, cache_partition_max_entries=8)
+        tenants = [Tenant("a", weight=2.0), Tenant("b")]
+        hot = rng.standard_normal((4, 16)).astype(np.float32)
+        flood = rng.standard_normal((64, 16)).astype(np.float32)
+        latencies: list[float] = []
+        errors: list[BaseException] = []
+
+        def victim(server):
+            for i in range(40):
+                start = time.perf_counter()
+                try:
+                    server.search(["Post.content_emb"], hot[i % 4], 3, tenant="a")
+                except ReproError as exc:
+                    errors.append(exc)
+                latencies.append(time.perf_counter() - start)
+
+        def flooder(server, offset):
+            for i in range(32):
+                try:
+                    server.search(
+                        ["Person.emb"], flood[(offset + i) % 64], 3, tenant="b"
+                    )
+                except ReproError as exc:
+                    errors.append(exc)
+
+        with QueryServer(db, config, tenants=tenants) as server:
+            threads = [
+                threading.Thread(target=victim, args=(server,)),
+                threading.Thread(target=flooder, args=(server, 0)),
+                threading.Thread(target=flooder, args=(server, 32)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+            stats = server.cache.stats()
+        assert not errors
+        lat = sorted(latencies)
+        p95 = lat[min(len(lat) - 1, int(len(lat) * 0.95))]
+        assert p95 < 1.0, f"victim p95 {p95:.3f}s collapsed under flood"
+        part_a = stats["per_tenant"]["a"]
+        assert part_a["hits"] / max(1, part_a["hits"] + part_a["misses"]) >= 0.5
+
+    def test_tenant_queue_share_bounds_flooder(self, loaded_post_db, gated_gsql):
+        db = loaded_post_db
+        config = ServeConfig(workers=1, max_queue_depth=8, enable_batching=False)
+        tenants = [Tenant("a"), Tenant("b", max_queue_share=0.25)]
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), QueryServer(db, config, tenants=tenants) as server:
+            blocker = server.submit_gsql("INSERT INTO Post VALUES (970)", tenant="a")
+            assert wait_until(lambda: server.queue.depth() == 0)
+            allowed = [
+                server.submit_gsql("INSERT INTO Post VALUES (971)", tenant="b"),
+                server.submit_gsql("INSERT INTO Post VALUES (972)", tenant="b"),
+            ]
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                server.submit_gsql("INSERT INTO Post VALUES (973)", tenant="b")
+            assert excinfo.value.reason == "tenant_share"
+            # The flooded tenant's cap does not block its neighbor.
+            neighbor = server.submit_gsql("INSERT INTO Post VALUES (974)", tenant="a")
+            gated_gsql.set()
+            for future in [blocker, *allowed, neighbor]:
+                assert future.exception(timeout=10) is None
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.shed_tenant_share"] == 1
+
+    def test_vacuum_tenant_quota_defers_flooder_stores(self, loaded_post_db, rng):
+        db = loaded_post_db
+        add_person_embeddings(db, rng)
+        # Fresh unmerged deltas on BOTH of tenant b's stores.
+        with db.begin() as txn:
+            txn.set_embedding(
+                "Post", 0, "content_emb", rng.standard_normal(16).astype(np.float32)
+            )
+        vm = db.vacuum_manager
+        vm.assign_tenant("Post", "content_emb", "b")
+        vm.assign_tenant("Person", "emb", "b")
+        vm.set_tenant_quota("b", 1)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            first = vm.run_once()
+            second = vm.run_once()
+        assert first["quota_deferred"] == 1, "second store must defer"
+        assert first["flushed"] > 0
+        assert second["quota_deferred"] == 0, "deferred store drains next round"
+        assert second["flushed"] > 0
+        assert vm.stats.quota_deferrals == 1
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["vacuum.quota_deferrals"] == 1
+        # Quota removal restores unlimited rounds.
+        vm.set_tenant_quota("b", None)
+        third = vm.run_once()
+        assert third["quota_deferred"] == 0
+
+
+# --------------------------------------------------------------------------
+# load-generator SLA accounting
+# --------------------------------------------------------------------------
+
+
+class _ScriptedOutcome:
+    def __init__(self, completion_seconds, token_waits=0, coverage=1.0):
+        self.completion_seconds = completion_seconds
+        self.token_waits = token_waits
+        self.coverage = coverage
+
+
+class _ScriptedSimulator:
+    """Duck-typed ClusterSimulator returning a fixed outcome script."""
+
+    def __init__(self, script, deadline=1.0):
+        self._script = list(script)
+        self.injector = None
+        self.policy = ResiliencePolicy(deadline=deadline)
+
+    def reset(self):
+        pass
+
+    def simulate_request_outcome(self, issue, sample):
+        step = self._script.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        return _ScriptedOutcome(issue + step.completion_seconds,
+                                token_waits=step.token_waits)
+
+
+class TestLoadgenSLAAccounting:
+    def test_failure_classes_split_in_load_result(self):
+        """Deadline misses, staleness rejections, and token waits land in
+        separate LoadResult fields — a deadline miss asks for capacity, a
+        staleness rejection asks for the commit pipeline to catch up."""
+        script = [
+            QueryTimeoutError("too slow", deadline=1.0, elapsed=1.0),
+            StalenessBoundError("behind", session_token=9, waited=0.9),
+            _ScriptedOutcome(1.0, token_waits=2),
+            _ScriptedOutcome(1.0, token_waits=1),
+        ]
+        gen = ClosedLoopLoadGenerator(_ScriptedSimulator(script), connections=4)
+        times = [{0: 0.001}]
+        # duration 0.5 < every completion time, so each connection issues
+        # exactly once and the script is consumed in order.
+        result = gen.run(times, duration_seconds=0.5)
+        assert result.failed == 2
+        assert result.deadline_failed == 1
+        assert result.stale_rejected == 1
+        assert result.token_waits == 3
+        assert result.completed == 4
+
+    def test_accounting_resets_between_runs(self):
+        def make(script):
+            return ClosedLoopLoadGenerator(
+                _ScriptedSimulator(script), connections=1
+            )
+
+        gen = make([StalenessBoundError("behind", waited=0.9)])
+        first = gen.run([{0: 0.001}], duration_seconds=0.5)
+        assert first.stale_rejected == 1
+        gen.simulator = _ScriptedSimulator([_ScriptedOutcome(1.0)])
+        second = gen.run([{0: 0.001}], duration_seconds=0.5)
+        assert second.stale_rejected == 0 and second.failed == 0
