@@ -33,18 +33,28 @@ from ..types import Metric
 from .delta import DELETE, UPSERT, DeltaRecord
 from .embedding import EmbeddingType
 
-__all__ = ["EmbeddingSegment", "SegmentSnapshot"]
+__all__ = ["EmbeddingSegment", "SegmentSnapshot", "rebuild_index"]
 
 
 @dataclass
 class SegmentSnapshot:
-    """One immutable (index, raw-vectors) pair valid as of ``tid``."""
+    """One immutable (index, raw-vectors) pair valid as of ``tid``.
+
+    Tiered storage (DESIGN §12) adds a second shape: a **cold** snapshot
+    carries PQ codes (``pq``) instead of an index (``index is None``), and
+    its ``vectors`` may be a read-only ``np.memmap`` spilled to disk.  Hot
+    and cold snapshots move through exactly the same MVCC machinery — a
+    tier transition is just ``install_snapshot`` of a same-``tid`` twin, so
+    pinned readers keep the retired variant until GC proves it unreachable.
+    """
 
     tid: int
-    index: VectorIndex
+    index: VectorIndex | None
     vectors: np.ndarray  # (capacity, dim), rows valid where present
     present: np.ndarray  # (capacity,) bool
     _kernel: DistanceKernel | None = None  # lazy scan kernel; never pickled
+    tier: str = "hot"  # "hot" | "cold"
+    pq: object | None = None  # PQCodes on cold snapshots
 
     def kernel(self, metric: Metric) -> DistanceKernel:
         """Distance kernel over this snapshot's raw vectors, built lazily.
@@ -54,7 +64,14 @@ class SegmentSnapshot:
         reads this snapshot.  (``bulk_load`` — the offline ingest path that
         mutates the current snapshot in place — drops the cache.)  Benign
         race under concurrent first calls: both build, one wins the write.
+
+        Refused on cold snapshots: building the augmented-row cache would
+        materialize every (possibly memmapped) row, defeating the tier.
+        Cold reads go through the ADC kernel plus candidate-only rerank in
+        :meth:`EmbeddingStore.search_segment` instead.
         """
+        if self.tier != "hot":
+            raise ReproError("scan kernel unavailable on a cold snapshot")
         kernel = self._kernel
         if kernel is None or kernel.metric is not metric:
             kernel = DistanceKernel.for_matrix(self.vectors, metric)
@@ -126,8 +143,17 @@ class EmbeddingSegment:
                 best = oldest
             return best
 
+    def current_snapshot(self) -> SegmentSnapshot:
+        """The newest snapshot (what an up-to-date reader would pin)."""
+        with self._lock:
+            return self._current
+
     def install_snapshot(self, snapshot: SegmentSnapshot) -> None:
-        """Atomically switch to a newer snapshot, retiring the current one."""
+        """Atomically switch to a newer snapshot, retiring the current one.
+
+        Same-``tid`` installs are allowed: tier transitions publish a hot or
+        cold twin of the current snapshot without inventing a new version.
+        """
         with self._lock:
             if snapshot.tid < self._current.tid:
                 raise ReproError("cannot install an older snapshot")
@@ -215,9 +241,17 @@ class EmbeddingSegment:
         """
         with self._lock:  # pin one coherent snapshot to clone from
             current = self._current
-        vectors = current.vectors.copy()
+        # A cold current is re-hydrated here: materialize the (possibly
+        # memmapped) rows and rebuild the index from present rows.  The
+        # merged segment is published hot; the tier manager re-demotes it
+        # at the rebalance that follows the vacuum pass if it is still cold
+        # by access heat.
+        vectors = np.array(current.vectors, dtype=np.float32)
         present = current.present.copy()
-        index = _clone_index(current.index)
+        if current.index is None:
+            index = rebuild_index(self.embedding, vectors, present, num_threads)
+        else:
+            index = _clone_index(current.index)
         upserts: dict[int, np.ndarray] = {}
         deletes: list[int] = []
         for record in records:
@@ -236,6 +270,22 @@ class EmbeddingSegment:
         if deletes:
             index.delete_items(deletes)
         return SegmentSnapshot(tid=new_tid, index=index, vectors=vectors, present=present)
+
+
+def rebuild_index(
+    embedding: EmbeddingType,
+    vectors: np.ndarray,
+    present: np.ndarray,
+    num_threads: int = 1,
+) -> VectorIndex:
+    """Fresh per-segment index over the present rows (tier promotion path)."""
+    index = create_index(
+        embedding.index, embedding.dimension, embedding.metric, dict(embedding.index_params)
+    )
+    offsets = np.flatnonzero(present)
+    if offsets.size:
+        index.update_items(offsets.tolist(), vectors[offsets], num_threads=num_threads)
+    return index
 
 
 def _clone_index(index: VectorIndex) -> VectorIndex:

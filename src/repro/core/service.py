@@ -22,6 +22,8 @@ from ..errors import UnknownTypeError, VectorSearchError
 from ..graph.schema import GraphSchema
 from ..index.bitmap import Bitmap
 from ..index.kernels import DistanceKernel
+from ..index.pq import PQSearchConfig
+from ..telemetry import get_telemetry
 from .delta import DELETE, UPSERT, DeltaFile, DeltaRecord, DeltaStore
 from .embedding import EmbeddingType
 from .segment import EmbeddingSegment, SegmentSnapshot
@@ -72,11 +74,20 @@ class EmbeddingStore:
         #: at the top of every search so injected per-segment exceptions
         #: exercise callers' retry/failover paths.  None in production.
         self.fault_hook = None
+        #: Tiering observer (repro.tier): called with the segment number at
+        #: the top of every search so the TierManager can count per-segment
+        #: accesses.  None when tiering is off.
+        self.access_hook = None
+        #: Two-phase (ADC candidates → exact rerank) policy for cold
+        #: segments.  None means tiering/PQ is off, and no search path
+        #: deviates from the full-precision behaviour by a single byte.
+        self.pq_config: PQSearchConfig | None = None
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_lock"]  # locks are not picklable; recreate on load
         state["fault_hook"] = None  # injector closures don't survive pickling
+        state["access_hook"] = None  # tier-manager closures likewise
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -289,6 +300,54 @@ class EmbeddingStore:
                 allowed[offset] = False
         return snap, overlay_last, allowed
 
+    def _cold_topk(
+        self,
+        snap: "SegmentSnapshot",
+        query: np.ndarray,
+        k: int,
+        allowed: np.ndarray,
+    ) -> list[tuple[float, int]]:
+        """Two-phase top-k on a cold snapshot (DESIGN §12).
+
+        Phase one scans the PQ codes of every allowed offset with the ADC
+        kernel and keeps the top ``k · rerank_factor`` candidates; phase two
+        gathers *only those rows* from the (possibly memmapped) raw store
+        and computes exact distances.  The full row matrix is never
+        materialized, which is the entire point of the cold tier.
+        """
+        offsets = np.flatnonzero(allowed)
+        if offsets.size == 0:
+            return []
+        tel = get_telemetry()
+        tel.inc("pq.adc_scans")
+        pq = snap.pq
+        kernel = snap._kernel
+        if kernel is None or kernel.metric is not self.embedding.metric:
+            # Reuse the snapshot's lazy-kernel slot: PQKernel implements the
+            # DistanceKernel contract and codes are immutable, so the same
+            # benign build race applies as for hot scan kernels.
+            kernel = pq.kernel(self.embedding.metric)
+            snap._kernel = kernel
+        ctx = kernel.query(query)
+        adc = kernel.distances(ctx, offsets)
+        cfg = self.pq_config or PQSearchConfig()
+        take = min(cfg.candidates(k), offsets.size)
+        if take < offsets.size:
+            part = np.argpartition(adc, take - 1)[:take]
+        else:
+            part = np.arange(offsets.size)
+        cand = offsets[part]
+        tel.observe("pq.rerank_candidates", cand.size)
+        if cfg.rerank:
+            raw = np.asarray(snap.vectors[cand], dtype=np.float32)
+            rkernel = DistanceKernel.for_matrix(raw, self.embedding.metric)
+            dists = rkernel.distances_prefix(rkernel.query(query), cand.size)
+        else:
+            dists = adc[part]
+        top = min(k, cand.size)
+        keep = np.argpartition(dists, top - 1)[:top] if top < cand.size else np.arange(cand.size)
+        return [(float(dists[i]), int(cand[i])) for i in keep]
+
     @staticmethod
     def _overlay_kernel(
         overlay_last: dict[int, DeltaRecord],
@@ -324,6 +383,9 @@ class EmbeddingStore:
         fault_hook = self.fault_hook
         if fault_hook is not None:
             fault_hook(seg_no)  # may raise FaultInjectionError (chaos tests)
+        access_hook = self.access_hook
+        if access_hook is not None:
+            access_hook(seg_no)  # tier-manager heat accounting
         snap, overlay_last, allowed = self._segment_view(seg_no, snapshot_tid, bitmap)
 
         threshold = self.bf_threshold if bf_threshold is None else bf_threshold
@@ -333,7 +395,11 @@ class EmbeddingStore:
         results: list[tuple[float, int]] = []
         used_bruteforce = False
         if valid_count > 0:
-            if valid_count < threshold:
+            if snap.pq is not None:
+                get_telemetry().inc("tier.cold_hits")
+                used_bruteforce = True
+                results.extend(self._cold_topk(snap, query, k, allowed))
+            elif valid_count < threshold:
                 used_bruteforce = True
                 offsets = np.flatnonzero(allowed)
                 kernel = snap.kernel(metric)
@@ -394,6 +460,9 @@ class EmbeddingStore:
         fault_hook = self.fault_hook
         if fault_hook is not None:
             fault_hook(seg_no)  # may raise FaultInjectionError (chaos tests)
+        access_hook = self.access_hook
+        if access_hook is not None:
+            access_hook(seg_no)  # tier-manager heat accounting
         queries = np.asarray(queries, dtype=np.float32)
         metric = self.embedding.metric
         snap, overlay_last, allowed = self._segment_view(seg_no, snapshot_tid, None)
@@ -405,7 +474,14 @@ class EmbeddingStore:
 
         used_bruteforce = False
         if valid_count > 0:
-            if valid_count < threshold:
+            if snap.pq is not None:
+                # Cold segment: each query runs the same two-phase
+                # evaluation as the solo path, so fused == per-query.
+                get_telemetry().inc("tier.cold_hits")
+                used_bruteforce = True
+                for qi in range(num_queries):
+                    per_query[qi].extend(self._cold_topk(snap, queries[qi], k, allowed))
+            elif valid_count < threshold:
                 used_bruteforce = True
                 offsets = np.flatnonzero(allowed)
                 kernel = snap.kernel(metric)
@@ -473,9 +549,15 @@ class EmbeddingStore:
         fault_hook = self.fault_hook
         if fault_hook is not None:
             fault_hook(seg_no)  # may raise FaultInjectionError (chaos tests)
+        access_hook = self.access_hook
+        if access_hook is not None:
+            access_hook(seg_no)  # tier-manager heat accounting
         queries = np.asarray(queries, dtype=np.float32)
         metric = self.embedding.metric
         snap, overlay_last, allowed = self._segment_view(seg_no, snapshot_tid, None)
+
+        if snap.pq is not None:
+            return self._batch_cold(seg_no, snap, queries, k, overlay_last, allowed)
 
         dist_blocks: list[np.ndarray] = []
         offset_blocks: list[np.ndarray] = []
@@ -528,6 +610,53 @@ class EmbeddingStore:
             )
         return outputs
 
+    def _batch_cold(
+        self,
+        seg_no: int,
+        snap: "SegmentSnapshot",
+        queries: np.ndarray,
+        k: int,
+        overlay_last: dict[int, DeltaRecord],
+        allowed: np.ndarray,
+    ) -> list[SegmentSearchOutput]:
+        """Micro-batch path over a cold segment.
+
+        The snapshot part is the two-phase (ADC → rerank) evaluation the
+        per-query path runs — never an exact full scan, which would
+        materialize the cold rows — and the overlay part is the usual raw
+        brute force; results therefore match :meth:`search_segment` on the
+        same view, including the sorted (distance, offset) tie-break.
+        """
+        get_telemetry().inc("tier.cold_hits")
+        metric = self.embedding.metric
+        fresh_offsets = [
+            off for off, record in overlay_last.items() if record.action == UPSERT
+        ]
+        okernel = (
+            self._overlay_kernel(overlay_last, fresh_offsets, metric)
+            if fresh_offsets
+            else None
+        )
+        outputs: list[SegmentSearchOutput] = []
+        for qi in range(queries.shape[0]):
+            pairs = self._cold_topk(snap, queries[qi], k, allowed)
+            if okernel is not None:
+                dists = okernel.distances_prefix(
+                    okernel.query(queries[qi]), len(fresh_offsets)
+                )
+                pairs.extend((float(d), int(o)) for d, o in zip(dists, fresh_offsets))
+            pairs.sort()
+            pairs = pairs[:k]
+            outputs.append(
+                SegmentSearchOutput(
+                    seg_no,
+                    offsets=[o for _, o in pairs],
+                    distances=[d for d, _ in pairs],
+                    used_bruteforce=True,
+                )
+            )
+        return outputs
+
     # --------------------------------------------------------------- stats
     def stats(self) -> dict:
         segs = self.segments()
@@ -537,7 +666,10 @@ class EmbeddingStore:
             "segments": len(segs),
             "live_vectors": sum(s.live_count() for s in segs),
             "pending_deltas": self.pending_delta_count(),
-            "index": [s.index.stats.snapshot() for s in segs],
+            "index": [
+                s.index.stats.snapshot() if s.index is not None else {"tier": "cold"}
+                for s in segs
+            ],
         }
 
 

@@ -165,4 +165,18 @@ def create_index(
         )
     if index_type is IndexType.SQ8:
         return SQ8FlatIndex(dim=dim, metric=metric)
+    if index_type is IndexType.IVF_PQ:
+        from .pq import IVFPQIndex
+
+        return IVFPQIndex(
+            dim=dim,
+            metric=metric,
+            nlist=params.get("nlist", 64),
+            nprobe=params.get("nprobe", 8),
+            m=params.get("m", min(8, dim)),
+            train_iterations=params.get("train_iterations", 10),
+            seed=params.get("seed", 17),
+            refine=params.get("refine", True),
+            rerank_factor=params.get("rerank_factor", 4),
+        )
     raise VectorSearchError(f"unsupported index type: {index_type}")

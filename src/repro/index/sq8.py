@@ -2,9 +2,15 @@
 
 A second "quantization-based index" (paper Sec. 4.4) behind the same
 interface: vectors are stored as uint8 codes with per-dimension min/max
-scaling (4x smaller than float32), and search decodes on the fly.  Exact
-ordering is approximated by quantization, so recall is slightly below the
-FLAT index while memory drops 4x — the trade-off the ablation bench shows.
+scaling (4x smaller than float32).  Exact ordering is approximated by
+quantization, so recall is slightly below the FLAT index while memory
+drops 4x — the trade-off the ablation bench shows.
+
+Distance math routes through :class:`~repro.index.pq.PQKernel` over the
+affine degenerate codebook (``dim`` subspaces of width one, centroids
+``lo[j] + scale[j]·c``): SQ8 and PQ share one quantized-kernel interface,
+and scans run ADC over the codes instead of decoding a float scratch
+matrix first.
 """
 
 from __future__ import annotations
@@ -14,9 +20,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import VectorSearchError
-from ..types import Metric
+from ..types import Metric, normalize
 from .interface import IndexStats, SearchResult, VectorIndex
-from .kernels import DistanceKernel
+from .pq import PQCodebook, PQKernel
 
 __all__ = ["SQ8FlatIndex"]
 
@@ -34,10 +40,11 @@ class SQ8FlatIndex(VectorIndex):
         self._id_to_row: dict[int, int] = {}
         self._lo: np.ndarray | None = None  # per-dimension range, fixed at
         self._scale: np.ndarray | None = None  # first train
+        self._codebook: PQCodebook | None = None
         self._stats = IndexStats()
-        #: Kernel over the decoded float32 scratch, rebuilt lazily after any
-        #: code mutation (static binding mode — the decode IS the rebuild).
-        self._scan_kernel: DistanceKernel | None = None
+        #: ADC kernel over the codes, rebuilt lazily after any mutation
+        #: (construction is free — PQ kernels hold no per-row float cache).
+        self._scan_kernel: PQKernel | None = None
 
     # ----------------------------------------------------------- quantizer
     def _train(self, vectors: np.ndarray) -> None:
@@ -46,13 +53,13 @@ class SQ8FlatIndex(VectorIndex):
         span = np.maximum(hi - lo, 1e-6)
         self._lo = lo.astype(np.float32)
         self._scale = (span / 255.0).astype(np.float32)
+        self._codebook = PQCodebook.affine(self._lo, self._scale)
 
     def _encode(self, vectors: np.ndarray) -> np.ndarray:
-        quantized = np.clip((vectors - self._lo) / self._scale, 0, 255)
-        return np.round(quantized).astype(np.uint8)
+        return self._codebook.encode(vectors)
 
     def _decode(self, codes: np.ndarray) -> np.ndarray:
-        return codes.astype(np.float32) * self._scale + self._lo
+        return self._codebook.decode(codes)
 
     @property
     def memory_bytes(self) -> int:
@@ -67,6 +74,11 @@ class SQ8FlatIndex(VectorIndex):
             raise VectorSearchError(f"expected dimension {self.dim}, got {vectors.shape[1]}")
         if len(ids) != vectors.shape[0]:
             raise VectorSearchError("ids and vectors length mismatch")
+        if self.metric is Metric.COSINE:
+            # The ADC kernel's COSINE contract: rows are prenormalized
+            # before encoding (cosine is scale-invariant, so this loses
+            # nothing and the codes directly encode unit rows).
+            vectors = normalize(vectors)
         if self._lo is None:
             self._train(vectors)
         codes = self._encode(vectors)
@@ -133,7 +145,7 @@ class SQ8FlatIndex(VectorIndex):
         query = np.asarray(query, dtype=np.float32).reshape(-1)
         kernel = self._scan_kernel
         if kernel is None:
-            kernel = DistanceKernel.for_matrix(self._decode(self._codes), self.metric)
+            kernel = PQKernel(self._codebook, self._codes, self.metric)
             self._scan_kernel = kernel
         self._stats.num_distance_computations += n
         dists = kernel.distances_prefix(kernel.query(query), n)

@@ -878,6 +878,7 @@ class QueryServer:
 
     # ---------------------------------------------------------------- stats
     def stats(self) -> dict:
+        tier = getattr(self.db, "tier_manager", None)
         return {
             "running": self.running,
             "workers": self.config.workers,
@@ -885,4 +886,5 @@ class QueryServer:
             "tenants": sorted(self.registry.names()),
             "batching": self.batcher is not None,
             "cache": None if self.cache is None else self.cache.stats(),
+            "tier": None if tier is None else tier.stats_snapshot(),
         }

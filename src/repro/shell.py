@@ -40,7 +40,8 @@ GSQL shell — statements end with ';'. Meta-commands:
   \\schema       show the catalog
   \\explain ...  print the plan of one SELECT block (no execution)
   \\seed N D     create an Item vertex type with N random D-dim embeddings
-  \\serve [Q C]  run Q queries at concurrency C through a QueryServer demo
+  \\serve [Q C M] run Q queries at concurrency C through a QueryServer demo
+                (M = hot-tier budget in MiB: enables tiered storage)
   \\stats        print the live telemetry metrics snapshot
   \\q            quit
 Query parameters are not supported interactively — inline literals instead.
@@ -123,10 +124,11 @@ class GSQLShell:
             try:
                 queries = int(parts[0]) if parts else 200
                 concurrency = int(parts[1]) if len(parts) > 1 else 8
+                tier_mb = float(parts[2]) if len(parts) > 2 else None
             except ValueError:
-                self._print("usage: \\serve [QUERIES [CONCURRENCY]]")
+                self._print("usage: \\serve [QUERIES [CONCURRENCY [TIER_MB]]]")
                 return True
-            self._serve_demo(queries, concurrency)
+            self._serve_demo(queries, concurrency, tier_mb)
         elif cmd == "\\stats":
             self._print(format_snapshot(self.telemetry.registry.snapshot()))
         else:
@@ -149,9 +151,12 @@ class GSQLShell:
         self.db.vacuum()
         self._print(f"seeded {n} Item vertices with {dim}-dim embeddings")
 
-    def _serve_demo(self, queries: int, concurrency: int) -> None:
+    def _serve_demo(
+        self, queries: int, concurrency: int, tier_mb: float | None = None
+    ) -> None:
         """Spin up a QueryServer over the first embedding attribute and
-        hammer it from ``concurrency`` client threads."""
+        hammer it from ``concurrency`` client threads.  ``tier_mb`` turns
+        on memory-budgeted tiered storage (DESIGN §12) before serving."""
         import threading
         import time
 
@@ -171,6 +176,9 @@ class GSQLShell:
         if queries < 1 or concurrency < 1:
             self._print("usage: \\serve [QUERIES [CONCURRENCY]]")
             return
+        if tier_mb is not None and self.db.tier_manager is None:
+            self.db.enable_tiering(budget_bytes=int(tier_mb * 1024 * 1024))
+            self.db.vacuum()
         rng = np.random.default_rng(1)
         vectors = rng.standard_normal((queries, dim)).astype(np.float32)
 
@@ -211,6 +219,14 @@ class GSQLShell:
                     f"  cache[{tenant}]: {part['hits']} hits / "
                     f"{part['misses']} misses, {part['entries']} entries"
                 )
+        tier = stats.get("tier")
+        if tier is not None:
+            self._print(
+                f"  tier: {tier['hot_segments']} hot / {tier['cold_segments']} cold, "
+                f"{tier['resident_bytes']:,} resident bytes "
+                f"(budget {tier['budget_bytes']:,}), "
+                f"{counters.get('tier.cold_hits', 0)} cold hits"
+            )
 
     def handle_statement(self, text: str) -> None:
         try:

@@ -1,0 +1,14 @@
+"""Tiered embedding storage: memory-budgeted hot/cold segment management.
+
+TigerVector's MPP design keeps full-precision embedding segments resident
+in memory; this subsystem relaxes that for the long tail.  Sealed segments
+are classified **hot** (raw rows + vector index) or **cold** (PQ codes
+only, raw rows optionally memmapped to disk) by access heat under a byte
+budget, and searches against cold segments run the two-phase ADC → exact
+rerank path.  Tier transitions ride the existing MVCC snapshot machinery,
+so pinned readers never observe a half-demoted segment.  See DESIGN §12.
+"""
+
+from .manager import TierManager, TierStats, demote_segment, promote_segment
+
+__all__ = ["TierManager", "TierStats", "demote_segment", "promote_segment"]

@@ -74,6 +74,7 @@ class IndexType(enum.Enum):
     FLAT = "FLAT"
     IVF_FLAT = "IVF_FLAT"
     SQ8 = "SQ8"
+    IVF_PQ = "IVF_PQ"
 
 
 class Metric(enum.Enum):
