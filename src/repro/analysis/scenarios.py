@@ -27,7 +27,12 @@ from pathlib import Path
 import numpy as np
 
 from .. import Attribute, AttrType, Metric, TigerVectorDB
-from ..core.search import vector_search_merged
+from ..core.search import (
+    merge_sharded_topk,
+    vector_search_merged,
+    vector_search_sharded,
+)
+from ..errors import SegmentOwnershipError
 from ..core.service import EmbeddingStore
 from ..index.hnsw import HNSWIndex
 from ..index.pq import PQCodebook, PQCodes, PQSearchConfig
@@ -418,6 +423,146 @@ class TierDemoteVsSearch(Scenario):
 
 
 # --------------------------------------------------------------------------
+# elastic rebalance vs pinned search
+# --------------------------------------------------------------------------
+
+
+class RebalanceVsSearch(Scenario):
+    """A segment-group handoff racing a routed, snapshot-pinned search.
+
+    Models the elastic tier's hot path (``repro.elastic``): worker 1 is a
+    router thread — gate past a draining key, take an in-flight ref,
+    resolve owners, pin a snapshot, then (after the shard-side ownership
+    re-check) run the sharded search and merge.  Worker 0 moves group 1
+    between servers.
+
+    With ``validate=True`` the mover follows the shipped handoff
+    protocol: close the gate, *wait for the in-flight count to drain to
+    zero*, then transfer — so the shard-side re-check can never observe
+    a revocation mid-flight, and every interleaving must produce either
+    the exact merged top-k or a clean gated refusal.  With
+    ``validate=False`` the mover revokes immediately (handoff without
+    the watermark drain): an interleaving where the search has routed
+    and pinned but not yet re-checked observes the revocation and raises
+    :class:`SegmentOwnershipError` — the planted bug the explorer must
+    find within budget.
+    """
+
+    threads = 2
+    description = "segment-group handoff vs routed pinned search (DESIGN §13)"
+
+    #: Bounded gate/drain retries, mirroring the tier's bounded waits:
+    #: give up cleanly rather than spin forever in an adversarial schedule.
+    _MAX_RETRIES = 8
+
+    def __init__(self, validate: bool = True):
+        self.validate = validate
+        self.name = (
+            "rebalance-vs-search" if validate else "rebalance-vs-search-unvalidated"
+        )
+
+    def setup(self):
+        state = _Box()
+        state.db = _make_doc_db(num_docs=10)  # 2 segments -> groups {0, 1}
+        state.db.vacuum(num_threads=1)
+        state.lock = SanitizedLock(name="elastic.ownership.lock")
+        state.owner = {0: "a", 1: "a"}  # router's entry map: group -> server
+        state.served_by = {"a": {0, 1}, "b": set()}  # shard ownership sets
+        state.draining = False
+        state.inflight = 0
+        state.query = np.zeros(_DIM, dtype=np.float32)
+        state.query[1] = 25.0
+        state.truth_ids = [
+            (vtype, vid) for _, vtype, vid in _search(state.db, state.query, k=3)
+        ]
+        state.result_ids = None
+        return state
+
+    def _move(self, state) -> None:
+        if not self.validate:
+            # Handoff without the drain: transfer under a live in-flight ref.
+            with state.lock:
+                state.served_by["a"].discard(1)
+                state.served_by["b"].add(1)
+                state.owner[1] = "b"
+            return
+        with state.lock:
+            state.draining = True
+        for _ in range(self._MAX_RETRIES):
+            with state.lock:
+                if state.inflight == 0:
+                    state.served_by["a"].discard(1)
+                    state.served_by["b"].add(1)
+                    state.owner[1] = "b"
+                    state.draining = False
+                    return
+            schedule_point("elastic.drain.wait")
+        with state.lock:
+            state.draining = False  # drain budget exhausted: abort the move
+
+    def worker(self, state, index: int) -> None:
+        if index == 0:
+            self._move(state)
+            return
+        # Router thread: gate, acquire, route, pin, execute, merge.
+        for _ in range(self._MAX_RETRIES):
+            with state.lock:
+                if not state.draining:
+                    routed = dict(state.owner)
+                    state.inflight += 1
+                    break
+            schedule_point("elastic.gate.wait")
+        else:
+            return  # gated out for the whole budget: clean refusal
+        try:
+            assignment: dict[str, list[int]] = {}
+            for group, server in routed.items():
+                assignment.setdefault(server, []).append(group)
+            with state.db.snapshot() as snapshot:
+                schedule_point("elastic.shard.pinned")
+                parts = []
+                for server, groups in sorted(assignment.items()):
+                    # The shard-side execution-time ownership re-check.
+                    with state.lock:
+                        missing = [
+                            g for g in groups if g not in state.served_by[server]
+                        ]
+                    if missing:
+                        raise SegmentOwnershipError(
+                            f"server '{server}' lost group {missing[0]} "
+                            f"mid-flight (handoff did not drain)",
+                            group=missing[0],
+                        )
+                    parts.append(
+                        vector_search_sharded(
+                            state.db.service,
+                            snapshot,
+                            [_ATTR],
+                            state.query,
+                            3,
+                            groups=frozenset(groups),
+                            group_size=1,
+                        )
+                    )
+            merged = merge_sharded_topk(parts, 3)
+            state.result_ids = [(vtype, vid) for _, vtype, vid in merged]
+        finally:
+            with state.lock:
+                state.inflight -= 1
+
+    def check(self, state) -> None:
+        if state.result_ids is None:
+            return  # cleanly refused at the gate: allowed, never wrong
+        assert state.result_ids == state.truth_ids, (
+            "handoff changed routed search content: "
+            f"{state.result_ids} != {state.truth_ids}"
+        )
+
+    def teardown(self, state) -> None:
+        state.db.close()
+
+
+# --------------------------------------------------------------------------
 # concurrent HNSW insert vs save
 # --------------------------------------------------------------------------
 
@@ -552,6 +697,8 @@ MATRIX: list[ScenarioSpec] = [
     ScenarioSpec(lambda: VacuumVsSearch(), ("pct", 12), False),
     ScenarioSpec(lambda: TierDemoteVsSearch(validate=False), ("pct", 256), True),
     ScenarioSpec(lambda: TierDemoteVsSearch(validate=True), ("pct", 64), False),
+    ScenarioSpec(lambda: RebalanceVsSearch(validate=False), ("pct", 256), True),
+    ScenarioSpec(lambda: RebalanceVsSearch(validate=True), ("pct", 64), False),
     ScenarioSpec(lambda: HnswInsertVsSave(), ("pct", 12), False),
     ScenarioSpec(lambda: BatcherVsWindowClose(), ("random", 8), False),
 ]

@@ -83,12 +83,15 @@ class EmbeddingAction:
         snapshot_tid: int,
         ef: int | None = None,
         bitmaps: list[Bitmap] | None = None,
+        seg_nos: list[int] | None = None,
     ) -> SearchResult:
         """Global top-k: local per-segment search + coordinator merge.
 
         ``bitmaps`` is one pre-filter bitmap per segment (or ``None`` for a
         pure search, which wraps the vertex status structure instead).
-        Returns global vids (= seg_no * segment_size + offset).
+        ``seg_nos`` restricts the search to a subset of segment ordinals
+        (the elastic tier's shard-ownership path); ``None`` searches every
+        segment.  Returns global vids (= seg_no * segment_size + offset).
         """
         if k <= 0:
             raise VectorSearchError("k must be positive")
@@ -99,9 +102,14 @@ class EmbeddingAction:
         start = time.perf_counter()
 
         # Skip segments whose pre-filter is known-empty before dispatch.
+        candidates = (
+            range(num_segments)
+            if seg_nos is None
+            else [seg_no for seg_no in seg_nos if 0 <= seg_no < num_segments]
+        )
         seg_nos = [
             seg_no
-            for seg_no in range(num_segments)
+            for seg_no in candidates
             if per_segment[seg_no] is None or per_segment[seg_no].count() > 0
         ]
 

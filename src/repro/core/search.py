@@ -37,9 +37,11 @@ from .service import EmbeddingService
 __all__ = [
     "VectorSearchOptions",
     "build_topk_vertex_set",
+    "merge_sharded_topk",
     "vector_search",
     "vector_search_batch",
     "vector_search_merged",
+    "vector_search_sharded",
 ]
 
 
@@ -140,6 +142,125 @@ def vector_search_merged(
             )
         vspan.set(merged_candidates=len(merged))
 
+    merged.sort(key=lambda item: item[0])
+    return merged[:k]
+
+
+def vector_search_sharded(
+    service: EmbeddingService,
+    snapshot: Snapshot,
+    vector_attributes: list[str],
+    query_vector: np.ndarray,
+    k: int,
+    options: VectorSearchOptions | None = None,
+    groups: frozenset | set | None = None,
+    group_size: int = 1,
+) -> list[tuple[str, tuple[tuple[float, int], ...]]]:
+    """Per-attribute partial top-k over a subset of segment groups.
+
+    The shard-owner half of the elastic tier's search: each owning server
+    runs this over the segment ordinals whose group (``seg_no //
+    group_size``) it owns, and the router merges the partials with
+    :func:`merge_sharded_topk`.  Returns one ``(vertex_type, pairs)`` entry
+    per attribute in resolution order, where ``pairs`` are the attribute's
+    local top-k ``(distance, vid)`` tuples sorted exactly as
+    :meth:`EmbeddingAction.topk` sorts them (distance, then vid).
+
+    ``groups=None`` searches every segment, which makes the single-shard
+    merge byte-identical to :func:`vector_search_merged`: the per-attribute
+    pairs are then the very lists that function flattens, and the merge
+    applies the same attribute-ordered stable sort.  With complementary
+    group subsets the union of partial top-k lists per attribute contains
+    the attribute's global top-k (top-k of a union is contained in the
+    union of per-part top-k), and the (distance, vid) total order makes
+    the merged result identical regardless of how segments were split.
+    """
+    if k <= 0:
+        raise VectorSearchError("k must be positive")
+    if group_size < 1:
+        raise VectorSearchError("group_size must be at least 1")
+    options = options or VectorSearchOptions()
+    resolved, representative = _resolve_attributes(service, vector_attributes)
+    query = _validate_query(query_vector, representative)
+
+    tel = get_telemetry()
+    parts: list[tuple[str, tuple[tuple[float, int], ...]]] = []
+    with tel.span(
+        "vector.search_sharded",
+        k=k,
+        attributes=list(vector_attributes),
+        groups=None if groups is None else sorted(groups),
+    ):
+        for qualified, vertex_type, _ in resolved:
+            store = service.store(vertex_type, qualified.split(".", 1)[1])
+            bitmaps = None
+            if options.filter is not None:
+                vids = options.filter.vids_of_type(vertex_type)
+                if not vids:
+                    parts.append((vertex_type, ()))
+                    continue
+                bitmaps = [
+                    Bitmap.wrap(mask)
+                    for mask in snapshot.bitmap_from_vids(vertex_type, vids)
+                ]
+                while len(bitmaps) < store.num_segments:
+                    bitmaps.append(Bitmap.empty(store.segment_size))
+            seg_nos = None
+            if groups is not None:
+                seg_nos = [
+                    seg_no
+                    for seg_no in range(store.num_segments)
+                    if seg_no // group_size in groups
+                ]
+            action = EmbeddingAction(store)
+            result = action.topk(
+                query,
+                k,
+                snapshot_tid=snapshot.tid,
+                ef=options.ef,
+                bitmaps=bitmaps,
+                seg_nos=seg_nos,
+            )
+            parts.append(
+                (
+                    vertex_type,
+                    tuple(
+                        (float(dist), int(vid))
+                        for vid, dist in zip(result.ids, result.distances)
+                    ),
+                )
+            )
+    return parts
+
+
+def merge_sharded_topk(
+    shard_parts: list[list[tuple[str, tuple[tuple[float, int], ...]]]],
+    k: int,
+) -> list[tuple[float, str, int]]:
+    """Coordinator merge of shard partials into the global sorted triples.
+
+    Every shard's output must come from :func:`vector_search_sharded` over
+    the *same attribute list* (so attribute indexes align).  Per attribute,
+    the shard pair-lists are merged under the (distance, vid) total order
+    and truncated to k — reconstructing what a whole-store
+    :meth:`EmbeddingAction.topk` would have returned — then the attribute
+    results are flattened in attribute order and stable-sorted by distance,
+    which is exactly :func:`vector_search_merged`'s final merge.  The
+    output is therefore byte-identical to an unsharded search.
+    """
+    if not shard_parts:
+        return []
+    num_attrs = len(shard_parts[0])
+    merged: list[tuple[float, str, int]] = []
+    for attr_index in range(num_attrs):
+        vertex_type = shard_parts[0][attr_index][0]
+        pairs: list[tuple[float, int]] = []
+        for part in shard_parts:
+            pairs.extend(part[attr_index][1])
+        pairs.sort()
+        merged.extend(
+            (float(dist), vertex_type, int(vid)) for dist, vid in pairs[:k]
+        )
     merged.sort(key=lambda item: item[0])
     return merged[:k]
 

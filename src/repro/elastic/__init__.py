@@ -1,0 +1,27 @@
+"""Elastic distributed serve tier (ROADMAP item 2).
+
+Sharded :class:`~repro.elastic.shard.ShardServer` instances — each a full
+:class:`~repro.serve.server.QueryServer` owning a subset of segment
+groups — behind a consistent-hash ring and an
+:class:`~repro.elastic.router.ElasticTier` router that fans top-k
+requests to owners, merges the partials byte-identically to the
+unsharded path, rebalances ownership live under traffic (drain at an
+MVCC TID, transfer, re-admit), keeps the watermark-keyed result caches
+replica-coherent, and autoscales on telemetry p99s.
+"""
+
+from .autoscale import AutoscalePolicy, Autoscaler
+from .ring import ConsistentHashRing
+from .router import ElasticTier
+from .shard import ShardRequest, ShardServer
+from .sim import SimulatedElasticServe
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ConsistentHashRing",
+    "ElasticTier",
+    "ShardRequest",
+    "ShardServer",
+    "SimulatedElasticServe",
+]

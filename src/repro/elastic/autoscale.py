@@ -1,0 +1,93 @@
+"""Telemetry-driven autoscaling policy for the elastic tier.
+
+The signal is the serving queue-delay p99 (``serve.queue_wait_seconds``):
+sustained breach of the target means the worker pools cannot drain
+arrivals — add a server; sustained idle (p99 far below target with the
+tier above its floor) means capacity is stranded — remove one.  Both
+directions require *consecutive* observations so a single burst or lull
+never flaps the fleet, and any observation that breaks a streak resets
+it.  The policy is a pure decision function — deterministic for tests —
+and :meth:`ElasticTier.autoscale_step` supplies the live p99 and applies
+the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ElasticError
+
+__all__ = ["AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass
+class AutoscalePolicy:
+    """Scale-out/in thresholds over the queue-delay p99."""
+
+    #: Breach threshold: queue-delay p99 at/above this wants more servers.
+    queue_delay_p99: float = 0.05
+    #: Consecutive breach observations before scaling out.
+    breach_observations: int = 3
+    #: Idle threshold: p99 at/below this (with >min servers) is stranded
+    #: capacity; defaults to a tenth of the breach threshold.
+    idle_delay_p99: float | None = None
+    #: Consecutive idle observations before scaling in (idle should be
+    #: stickier than breach: adding capacity late hurts more than keeping
+    #: a server warm).
+    idle_observations: int = 6
+    min_servers: int = 1
+    max_servers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.queue_delay_p99 <= 0:
+            raise ElasticError("queue_delay_p99 must be positive")
+        if self.idle_delay_p99 is None:
+            self.idle_delay_p99 = self.queue_delay_p99 / 10.0
+        if self.idle_delay_p99 >= self.queue_delay_p99:
+            raise ElasticError("idle_delay_p99 must be below queue_delay_p99")
+        if self.breach_observations < 1 or self.idle_observations < 1:
+            raise ElasticError("observation windows must be at least 1")
+        if not 1 <= self.min_servers <= self.max_servers:
+            raise ElasticError("need 1 <= min_servers <= max_servers")
+
+
+class Autoscaler:
+    """Consecutive-observation debouncer around :class:`AutoscalePolicy`."""
+
+    def __init__(self, policy: AutoscalePolicy | None = None):
+        self.policy = policy or AutoscalePolicy()
+        self._breaches = 0
+        self._idles = 0
+
+    def observe(self, queue_delay_p99: float, num_servers: int) -> str:
+        """Feed one p99 reading; returns ``scale_out``/``scale_in``/``hold``.
+
+        A returned scale decision also resets both streaks, so the next
+        decision needs a full fresh window of evidence against the new
+        fleet size.
+        """
+        policy = self.policy
+        if queue_delay_p99 >= policy.queue_delay_p99:
+            self._breaches += 1
+            self._idles = 0
+            if (
+                self._breaches >= policy.breach_observations
+                and num_servers < policy.max_servers
+            ):
+                self._breaches = 0
+                return "scale_out"
+            return "hold"
+        if queue_delay_p99 <= policy.idle_delay_p99:
+            self._idles += 1
+            self._breaches = 0
+            if (
+                self._idles >= policy.idle_observations
+                and num_servers > policy.min_servers
+            ):
+                self._idles = 0
+                return "scale_in"
+            return "hold"
+        # Between the thresholds: a healthy reading breaks both streaks.
+        self._breaches = 0
+        self._idles = 0
+        return "hold"

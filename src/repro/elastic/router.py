@@ -1,0 +1,688 @@
+"""ElasticTier: consistent-hash routed, live-rebalancing serve tier.
+
+The distributed story of the paper's Sec. 3/5 — segment-partitioned
+vector data behind a coordinator that fans a top-k out to owners and
+merges — lifted to the serving layer: several
+:class:`~repro.elastic.shard.ShardServer` instances each own a subset of
+*segment groups* (``group = seg_no // group_size``, uniform across every
+attribute store, mirroring vertex-centric partitioning), a
+:class:`ConsistentHashRing` keyed by ``(tenant, group)`` decides default
+ownership, and the router fans each query to the owners and merges the
+partials with :func:`~repro.core.search.merge_sharded_topk` — which
+reconstructs the unsharded answer byte-for-byte (see its docstring for
+the containment argument).
+
+**Routing and retry.**  Ownership entries materialize lazily from the
+ring (grant first, publish second, so a published entry is always backed
+by a shard-side grant).  A sub-request that fails because ownership
+moved (:class:`SegmentOwnershipError`) or because its server died
+(``shutdown``-reason admission error / refusal to accept) is re-routed
+to the current owner — bounded rounds, each failure counted in
+``elastic.route_retries`` — so a losing race or a crash costs a retry,
+never a failed query.  A dead server additionally triggers
+:meth:`handle_crash`: it leaves the ring and every key it owned
+reassigns to the surviving hash owners.
+
+**Live rebalancing (drain at a TID, transfer, re-admit).**  A handoff
+marks the key *draining* — new routes gate on the entry until the move
+completes — records the MVCC handoff point (the snapshot TID at drain
+start), waits for the in-flight count to reach zero (every request that
+acquired the key before the gate closed has completed; all of them
+executed on snapshots at or before the handoff TID), grants the new
+owner, revokes the old, pins the ring, and re-admits gated requests.
+The execution-time ownership check in the shard is therefore
+unreachable for drained handoffs; skipping the drain (the unvalidated
+explorer variant) makes it fire.
+
+**Replica-coherent caching and cross-replica SLAs.**  The router reads
+the watermark vector once, pins ONE snapshot for the whole fan-out, and
+ships both to every shard; partial-cache entries are keyed by the
+shipped vector (plus the group tuple), so no replica can serve a cached
+partial staler than the router's observation, and fills are gated by
+the router's commit-race verdict exactly like the single-server path.
+``max_staleness`` / ``session_token`` contracts are enforced *at the
+router* with the same pin/validate/wait loop as
+:meth:`QueryServer._execute_sla`, so an SLA answer is never silently
+stale regardless of which replicas served the partials.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core.search import (
+    VectorSearchOptions,
+    build_topk_vertex_set,
+    merge_sharded_topk,
+)
+from ..core.service import EmbeddingStore
+from ..errors import (
+    AdmissionRejectedError,
+    ElasticError,
+    ReproError,
+    SegmentOwnershipError,
+    ServeError,
+    StalenessBoundError,
+)
+from ..serve.server import ServeConfig
+from ..telemetry import get_telemetry
+from .autoscale import Autoscaler, AutoscalePolicy
+from .ring import ConsistentHashRing
+from .shard import ShardServer
+
+__all__ = ["ElasticTier"]
+
+#: Routing rounds before the router gives up on a query.  Each round
+#: re-resolves ownership, so >1 failures per key require >1 concurrent
+#: membership events; six rounds is far beyond any schedule the chaos
+#: matrix produces while still bounding a pathological flap.
+_MAX_ROUTE_ROUNDS = 6
+
+#: Snapshot re-pin cadence for the router-level SLA wait loop.
+_SLA_RETRY_SLEEP = 0.0005
+
+#: Gate re-check cadence while a key drains (the rebalancer notifies the
+#: condition on completion; the timeout only bounds lost-wakeup risk).
+_GATE_WAIT = 0.05
+
+
+class _Ownership:
+    """Mutable routing state for one materialized ``(tenant, group)`` key.
+
+    All fields are guarded by the tier's single routing condition; the
+    entry object itself is stable for the key's lifetime (rebalances
+    mutate ``server`` in place so gated waiters resume on the same
+    entry).
+    """
+
+    __slots__ = ("server", "draining", "inflight")
+
+    def __init__(self, server: str):
+        self.server = server
+        self.draining = False
+        self.inflight = 0
+
+
+class ElasticTier:
+    """Shard-routing front tier over one database: route, merge, rebalance."""
+
+    def __init__(
+        self,
+        db,
+        num_servers: int = 2,
+        config: ServeConfig | None = None,
+        tenants=None,
+        policy=None,
+        injectors: dict | None = None,
+        group_size: int = 1,
+        vnodes: int = 96,
+        server_prefix: str = "shard",
+        autoscale: AutoscalePolicy | None = None,
+    ):
+        if num_servers < 1:
+            raise ElasticError("need at least one server")
+        if group_size < 1:
+            raise ElasticError("group_size must be at least 1")
+        self.db = db
+        self.config = config or ServeConfig()
+        self.policy = policy
+        self.group_size = int(group_size)
+        self.server_prefix = str(server_prefix)
+        self._tenants = tenants
+        self._injectors = dict(injectors or {})
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.shards: dict[str, ShardServer] = {}
+        self._server_seq = 0
+        self.autoscaler = Autoscaler(autoscale or AutoscalePolicy())
+        # One condition guards the ownership map and every entry's
+        # draining/inflight state; telemetry is recorded outside it.
+        self._route_cond = threading.Condition(threading.Lock())
+        self._owners: dict[tuple[str, int], _Ownership] = {}
+        self._dead: set[str] = set()
+        self._rebalance_log: list[dict] = []
+        self._started = False
+        for _ in range(num_servers):
+            self._new_shard()
+
+    # ------------------------------------------------------------- lifecycle
+    def _new_shard(self) -> ShardServer:
+        name = f"{self.server_prefix}-{self._server_seq}"
+        self._server_seq += 1
+        shard = ShardServer(
+            self.db,
+            name,
+            config=self.config,
+            tenants=self._tenants,
+            policy=self.policy,
+            injector=self._injectors.get(name),
+            group_size=self.group_size,
+        )
+        with self._route_cond:
+            self.shards[name] = shard
+        self.ring.add(name)  # ring is its own lock leaf: add outside the cond
+        return shard
+
+    def start(self) -> "ElasticTier":
+        for shard in self.shards.values():
+            shard.start()
+        self._started = True
+        get_telemetry().set_gauge("elastic.servers", len(self._live_names()))
+        return self
+
+    def stop(self) -> None:
+        for shard in self.shards.values():
+            shard.stop()
+
+    def __enter__(self) -> "ElasticTier":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _live_names(self) -> list[str]:
+        return [
+            name
+            for name, shard in sorted(self.shards.items())
+            if shard.running and name not in self._dead
+        ]
+
+    # --------------------------------------------------------------- routing
+    def _watermarks(self, vector_attributes) -> tuple:
+        schema = self.db.schema
+        marks = []
+        for qualified in vector_attributes:
+            vertex_type, _ = schema.embedding_attribute(qualified)
+            store = self.db.service.store(vertex_type, qualified.split(".", 1)[1])
+            marks.append(store.watermark())
+        return tuple(marks)
+
+    def group_universe(self, vector_attributes) -> list[int]:
+        """Every group id a query over these attributes can touch."""
+        schema = self.db.schema
+        max_segments = 1
+        for qualified in vector_attributes:
+            vertex_type, _ = schema.embedding_attribute(qualified)
+            store = self.db.service.store(vertex_type, qualified.split(".", 1)[1])
+            max_segments = max(max_segments, store.num_segments)
+        num_groups = -(-max_segments // self.group_size)  # ceil
+        return list(range(num_groups))
+
+    def _materialize(self, tenant: str, group: int) -> _Ownership:
+        """Entry for a key, granting the ring owner on first touch.
+
+        Grant-before-publish: by the time any thread can route on the
+        entry, the shard-side ownership set already admits the key, so a
+        freshly materialized key can never bounce off the execution-time
+        ownership check.
+        """
+        key = (tenant, int(group))
+        with self._route_cond:
+            entry = self._owners.get(key)
+        if entry is not None:
+            return entry
+        owner = self.ring.owner(tenant, group)
+        self.shards[owner].grant(tenant, group)
+        with self._route_cond:
+            entry = self._owners.get(key)
+            if entry is None:
+                entry = _Ownership(owner)
+                self._owners[key] = entry
+            return entry
+
+    def _acquire(self, tenant: str, groups: list[int]) -> list[tuple[int, _Ownership]]:
+        """Gate past drains and take an in-flight ref on every group."""
+        for group in groups:
+            self._materialize(tenant, group)
+        gate_waits = 0
+        acquired: list[tuple[int, _Ownership]] = []
+        with self._route_cond:
+            for group in groups:
+                entry = self._owners[(tenant, int(group))]
+                while entry.draining:
+                    gate_waits += 1
+                    self._route_cond.wait(_GATE_WAIT)
+                entry.inflight += 1
+                acquired.append((int(group), entry))
+        if gate_waits:
+            get_telemetry().inc("elastic.handoff_gate_waits", gate_waits)
+        return acquired
+
+    def _release(self, acquired: list[tuple[int, _Ownership]]) -> None:
+        with self._route_cond:
+            for _, entry in acquired:
+                entry.inflight -= 1
+            self._route_cond.notify_all()
+
+    def _routed_parts(
+        self,
+        vector_attributes,
+        query,
+        k: int,
+        *,
+        tenant: str,
+        ef,
+        filter,
+        snapshot,
+        watermarks: tuple,
+        cache_ok: bool,
+        groups: list[int],
+        deadline: float | None,
+    ) -> list:
+        """Fan the group set to owners, retrying routes lost to races/crashes."""
+        tel = get_telemetry()
+        parts: list = []
+        remaining = list(groups)
+        for _ in range(_MAX_ROUTE_ROUNDS):
+            if not remaining:
+                return parts
+            acquired = self._acquire(tenant, remaining)
+            failed: list[int] = []
+            dead: set[str] = set()
+            try:
+                assignment: dict[str, list[int]] = {}
+                for group, entry in acquired:
+                    assignment.setdefault(entry.server, []).append(group)
+                futures = []
+                for server, server_groups in sorted(assignment.items()):
+                    shard = self.shards.get(server)
+                    if shard is None or not shard.running:
+                        failed.extend(server_groups)
+                        dead.add(server)
+                        continue
+                    try:
+                        future = shard.submit_shard(
+                            vector_attributes,
+                            query,
+                            k,
+                            tenant=tenant,
+                            ef=ef,
+                            filter=filter,
+                            snapshot=snapshot,
+                            watermarks=watermarks,
+                            cache_ok=cache_ok,
+                            groups=server_groups,
+                            deadline=deadline,
+                        )
+                    except ServeError:
+                        # Refused at the door mid-shutdown: treat like a
+                        # dead server and re-route its groups.
+                        failed.extend(server_groups)
+                        dead.add(server)
+                        continue
+                    futures.append((server, server_groups, future))
+                for server, server_groups, future in futures:
+                    error = future.exception()
+                    if error is None:
+                        parts.append(future.result())
+                        continue
+                    if isinstance(error, SegmentOwnershipError):
+                        failed.extend(server_groups)
+                    elif (
+                        isinstance(error, AdmissionRejectedError)
+                        and error.reason == "shutdown"
+                    ):
+                        failed.extend(server_groups)
+                        dead.add(server)
+                    else:
+                        raise error
+            finally:
+                self._release(acquired)
+            for server in dead:
+                self.handle_crash(server)
+            if failed:
+                tel.inc("elastic.route_retries", len(failed))
+            remaining = failed
+        raise ElasticError(
+            f"routing did not converge after {_MAX_ROUTE_ROUNDS} rounds "
+            f"(groups {sorted(remaining)} kept moving)"
+        )
+
+    # ---------------------------------------------------------------- search
+    def search(
+        self,
+        vector_attributes,
+        query_vector,
+        k: int,
+        *,
+        tenant: str = "default",
+        ef: int | None = None,
+        filter=None,
+        distance_map=None,
+        timeout: float | None = None,
+        max_staleness: int | None = None,
+        session_token: int | None = None,
+    ):
+        """Routed top-k: fan to owners, merge, materialize a VertexSet.
+
+        The result is byte-identical to ``QueryServer``'s (and therefore
+        to a direct ``db.vector_search``): same snapshot semantics —
+        one pinned snapshot serves every shard — and the merge re-applies
+        the exact (distance, vid) and stable-by-distance orders of the
+        unsharded pipeline.
+        """
+        tel = get_telemetry()
+        tel.inc("elastic.routed_requests")
+        if not self._started:
+            raise ServeError("ElasticTier is not running; call start() first")
+        attrs = list(vector_attributes)
+        groups = self.group_universe(attrs)
+        submitted_at = time.monotonic()
+        if timeout is None:
+            timeout = self.config.default_timeout
+        deadline = None if timeout is None else submitted_at + timeout
+        if max_staleness is None:
+            max_staleness = self.config.default_max_staleness
+        if max_staleness is not None or session_token is not None:
+            return self._search_sla(
+                attrs,
+                query_vector,
+                k,
+                tenant=tenant,
+                ef=ef,
+                filter=filter,
+                distance_map=distance_map,
+                deadline=deadline,
+                max_staleness=max_staleness,
+                session_token=session_token,
+                groups=groups,
+                submitted_at=submitted_at,
+            )
+        watermarks = self._watermarks(attrs)
+        with self.db.snapshot() as snapshot:
+            cache_ok = all(
+                EmbeddingStore.watermark_tid(mark) <= snapshot.tid
+                for mark in watermarks
+            )
+            if not cache_ok:
+                tel.inc("elastic.cache_coherence_bypass")
+            parts = self._routed_parts(
+                attrs,
+                query_vector,
+                k,
+                tenant=tenant,
+                ef=ef,
+                filter=filter,
+                snapshot=snapshot,
+                watermarks=watermarks,
+                cache_ok=cache_ok,
+                groups=groups,
+                deadline=deadline,
+            )
+        merged = merge_sharded_topk(parts, int(k))
+        return build_topk_vertex_set(merged, distance_map)
+
+    def _search_sla(
+        self,
+        attrs,
+        query_vector,
+        k: int,
+        *,
+        tenant: str,
+        ef,
+        filter,
+        distance_map,
+        deadline,
+        max_staleness,
+        session_token,
+        groups,
+        submitted_at,
+    ):
+        """Router-level freshness contract: fresh across every replica, or typed.
+
+        Mirrors :meth:`QueryServer._execute_sla`; validating *before*
+        fan-out means the verdict holds for the one shipped snapshot all
+        replicas execute on, which is what makes the contract
+        cross-replica.
+        """
+        tel = get_telemetry()
+        limit = submitted_at + self.config.staleness_wait
+        if deadline is not None:
+            limit = min(limit, deadline)
+        while True:
+            marks = self._watermarks(attrs)
+            with self.db.snapshot() as snapshot:
+                lag = EmbeddingStore.watermark_lag(marks, snapshot.tid)
+                stale = max_staleness is not None and lag > max_staleness
+                behind = session_token is not None and snapshot.tid < session_token
+                if not stale and not behind:
+                    cache_ok = lag == 0
+                    if not cache_ok:
+                        tel.inc("elastic.cache_coherence_bypass")
+                    parts = self._routed_parts(
+                        attrs,
+                        query_vector,
+                        k,
+                        tenant=tenant,
+                        ef=ef,
+                        filter=filter,
+                        snapshot=snapshot,
+                        watermarks=marks,
+                        cache_ok=cache_ok,
+                        groups=groups,
+                        deadline=deadline,
+                    )
+                    merged = merge_sharded_topk(parts, int(k))
+                    return build_topk_vertex_set(merged, distance_map)
+            now = time.monotonic()
+            if now >= limit:
+                waited = now - submitted_at
+                if behind:
+                    tel.inc("serve.session_token_rejections")
+                    raise StalenessBoundError(
+                        f"no snapshot covering session token {session_token} "
+                        f"within {waited:.3f}s",
+                        session_token=session_token,
+                        waited=waited,
+                    )
+                tel.inc("serve.staleness_rejections")
+                raise StalenessBoundError(
+                    f"snapshot lag {lag} exceeds max_staleness {max_staleness} "
+                    f"after {waited:.3f}s",
+                    max_staleness=max_staleness,
+                    lag=lag,
+                    waited=waited,
+                )
+            tel.inc(
+                "serve.session_token_waits" if behind else "serve.staleness_waits"
+            )
+            time.sleep(min(_SLA_RETRY_SLEEP, limit - now))
+
+    # ------------------------------------------------------------- rebalance
+    def rebalance(self, tenant: str, group: int, to_server: str) -> dict | None:
+        """Move one key live: drain at a TID, transfer, re-admit.
+
+        Returns the handoff log entry, or ``None`` for a no-op move.
+        """
+        if to_server not in self.shards:
+            raise ElasticError(f"unknown rebalance target '{to_server}'")
+        if not self.shards[to_server].running:
+            raise ElasticError(f"rebalance target '{to_server}' is not running")
+        tel = get_telemetry()
+        self._materialize(tenant, group)
+        key = (tenant, int(group))
+        gate_waits = 0
+        with self._route_cond:
+            entry = self._owners[key]
+            while entry.draining:
+                # One handoff at a time per key; a concurrent mover waits
+                # its turn like any routed request.
+                gate_waits += 1
+                self._route_cond.wait(_GATE_WAIT)
+            if entry.server == to_server:
+                return None
+            from_server = entry.server
+            entry.draining = True
+        if gate_waits:
+            tel.inc("elastic.handoff_gate_waits", gate_waits)
+        # The MVCC handoff point: every request admitted before the gate
+        # closed pinned a snapshot at or before this TID; everything after
+        # re-admission executes on the new owner.
+        with self.db.snapshot() as snapshot:
+            drain_tid = snapshot.tid
+        drain_waits = 0
+        with self._route_cond:
+            while entry.inflight > 0:
+                drain_waits += 1
+                self._route_cond.wait(_GATE_WAIT)
+        # Grant before revoke: the key always has at least one admitted
+        # owner, and routing is still gated so nobody can race the pair.
+        self.shards[to_server].grant(tenant, group)
+        self.shards[from_server].revoke(tenant, group)
+        self.ring.pin(tenant, group, to_server)
+        with self._route_cond:
+            entry.server = to_server
+            entry.draining = False
+            self._route_cond.notify_all()
+        tel.inc("elastic.rebalances")
+        if drain_waits:
+            tel.inc("elastic.rebalance_drain_waits", drain_waits)
+        record = {
+            "tenant": tenant,
+            "group": int(group),
+            "from": from_server,
+            "to": to_server,
+            "drain_tid": drain_tid,
+            "drain_waits": drain_waits,
+        }
+        self._rebalance_log.append(record)
+        return record
+
+    def rebalance_evenly(self, tenant: str, vector_attributes) -> int:
+        """Drive ownership to the bounded-load assignment; returns move count."""
+        groups = self.group_universe(list(vector_attributes))
+        live = self._live_names()
+        target = ConsistentHashRing(vnodes=self.ring.vnodes)
+        for name in live:
+            target.add(name)
+        plan = target.balanced_assignment(tenant, groups)
+        moves = 0
+        for group, server in sorted(plan.items()):
+            entry = self._materialize(tenant, group)
+            if entry.server != server:
+                if self.rebalance(tenant, group, server) is not None:
+                    moves += 1
+        return moves
+
+    def handle_crash(self, name: str) -> int:
+        """Fail a server out: leave the ring, reassign its keys; returns moves."""
+        first = name not in self._dead
+        self._dead.add(name)
+        self.ring.remove(name)
+        with self._route_cond:
+            orphaned = [
+                (tenant, group)
+                for (tenant, group), entry in self._owners.items()
+                if entry.server == name
+            ]
+        moved = 0
+        for tenant, group in sorted(orphaned):
+            new_owner = self.ring.owner(tenant, group)
+            self.shards[new_owner].grant(tenant, group)
+            with self._route_cond:
+                entry = self._owners[(tenant, group)]
+                if entry.server == name:
+                    entry.server = new_owner
+                    entry.draining = False
+                    moved += 1
+                self._route_cond.notify_all()
+        tel = get_telemetry()
+        if first:
+            tel.inc("elastic.crash_failovers")
+        tel.set_gauge("elastic.servers", len(self._live_names()))
+        return moved
+
+    # ------------------------------------------------------------ autoscaling
+    def add_server(self) -> str:
+        """Scale out one server and migrate keys the ring now hashes to it."""
+        shard = self._new_shard()
+        if self._started:
+            shard.start()
+        with self._route_cond:
+            materialized = sorted(self._owners)
+        pins = self.ring.pins()
+        for tenant, group in materialized:
+            if (tenant, group) in pins:
+                continue  # rebalancer decisions outrank hash movement
+            owner = self.ring.owner(tenant, group)
+            with self._route_cond:
+                current = self._owners[(tenant, group)].server
+            if owner != current:
+                self.rebalance(tenant, group, owner)
+        get_telemetry().set_gauge("elastic.servers", len(self._live_names()))
+        return shard.name
+
+    def remove_server(self, name: str | None = None) -> str:
+        """Scale in one server gracefully: migrate every key, then stop it."""
+        live = self._live_names()
+        if len(live) <= 1:
+            raise ElasticError("cannot remove the last live server")
+        if name is None:
+            name = live[-1]
+        if name not in self.shards or name not in live:
+            raise ElasticError(f"unknown or dead server '{name}'")
+        self.ring.remove(name)
+        with self._route_cond:
+            owned = sorted(
+                key for key, entry in self._owners.items() if entry.server == name
+            )
+        for tenant, group in owned:
+            self.rebalance(tenant, group, self.ring.owner(tenant, group))
+        shard = self.shards.pop(name)
+        shard.stop()
+        get_telemetry().set_gauge("elastic.servers", len(self._live_names()))
+        return name
+
+    def autoscale_step(self) -> str:
+        """One policy tick off live telemetry p99s; returns the decision."""
+        tel = get_telemetry()
+        p99 = tel.registry.histogram("serve.queue_wait_seconds").percentile(0.99)
+        decision = self.autoscaler.observe(p99, len(self._live_names()))
+        if decision == "scale_out":
+            self.add_server()
+            tel.inc("elastic.scale_out")
+        elif decision == "scale_in":
+            self.remove_server()
+            tel.inc("elastic.scale_in")
+        return decision
+
+    # ---------------------------------------------------------------- stats
+    def ownership(self) -> dict[str, dict[str, list[int]]]:
+        """server -> tenant -> sorted groups (materialized keys only)."""
+        with self._route_cond:
+            items = [(key, entry.server) for key, entry in self._owners.items()]
+        out: dict[str, dict[str, list[int]]] = {}
+        for (tenant, group), server in sorted(items):
+            out.setdefault(server, {}).setdefault(tenant, []).append(group)
+        return out
+
+    def stats(self) -> dict:
+        """Router + per-server stats for the CLI/shell surfaces."""
+        tel = get_telemetry()
+        per_server = {}
+        for name, shard in sorted(self.shards.items()):
+            stats = shard.stats()
+            cache = stats.get("cache") or {}
+            per_server[name] = {
+                "running": stats["running"],
+                "owned": stats["owned"],
+                "rebalances_in": stats["rebalances_in"],
+                "rebalances_out": stats["rebalances_out"],
+                "queue_depth": stats["queue_depth"],
+                "workers_alive": stats.get("workers_alive", 0),
+                "cache_hit_ratio": cache.get("hit_ratio", 0.0),
+                "cache_entries": cache.get("entries", 0),
+            }
+        return {
+            "servers": per_server,
+            "live_servers": self._live_names(),
+            "ownership": self.ownership(),
+            "rebalances": len(self._rebalance_log),
+            "rebalance_log": list(self._rebalance_log),
+            "routed_requests": tel.registry.counter("elastic.routed_requests").value,
+            "route_retries": tel.registry.counter("elastic.route_retries").value,
+            "cache_coherence_bypass": tel.registry.counter(
+                "elastic.cache_coherence_bypass"
+            ).value,
+            "crash_failovers": tel.registry.counter("elastic.crash_failovers").value,
+        }

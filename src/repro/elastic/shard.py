@@ -1,0 +1,267 @@
+"""ShardServer: a :class:`QueryServer` that owns a subset of segment groups.
+
+Each shard is a full serving stack — admission control, weighted-fair
+queue, worker pool, chaos hooks, and a per-tenant result cache — plus an
+*ownership set* of ``(tenant, group)`` keys granted by the elastic tier's
+router.  Routed sub-requests (``kind="shard"``) flow through the same
+queue and workers as ordinary requests, so tenant fairness and fault
+injection apply to shard traffic too, but execute
+:func:`~repro.core.search.vector_search_sharded` over only the owned
+segment ordinals and complete their future with the *partial* per-attribute
+top-k pairs for the router to merge.
+
+Two contracts matter here:
+
+- **Execution-time ownership check.**  Ownership is re-validated by the
+  worker immediately before the search, not just at routing time.  A
+  sub-request that raced a handoff and reached a shard after its group
+  was revoked fails with a typed
+  :class:`~repro.errors.SegmentOwnershipError` — never a silently wrong
+  partial computed over segments the shard no longer serves.  The
+  router treats that error as retryable.  (The drain protocol makes the
+  race unreachable for *granted-then-drained* handoffs; the check is the
+  belt to that suspender, and exactly what the unvalidated
+  ``rebalance-vs-search`` explorer scenario trips.)
+- **Replica-coherent caching.**  The shard never reads watermarks
+  itself: the router reads the watermark vector once, pins one snapshot,
+  and ships both with every sub-request.  The partial cache key is the
+  standard watermark-keyed :meth:`ResultCache.key` *extended with the
+  owned group tuple*, so (a) an entry can only be hit by a request whose
+  router observed the identical watermark vector — a replica can never
+  answer from state staler than the router's observation — and (b)
+  partials computed over different group subsets (before/after a
+  rebalance) can never alias.  Fills are further gated by the router's
+  ``cache_ok`` verdict (snapshot covers every watermark component),
+  reusing the commit-race analysis from :mod:`repro.serve.cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.hooks import schedule_point
+from ..core.search import VectorSearchOptions, vector_search_sharded
+from ..errors import ReproError, SegmentOwnershipError, ServeError
+from ..serve.cache import ResultCache
+from ..serve.server import QueryRequest, QueryServer, ServeConfig, ServeFuture
+from ..telemetry import get_telemetry
+
+__all__ = ["ShardRequest", "ShardServer"]
+
+
+@dataclass
+class ShardRequest(QueryRequest):
+    """One routed sub-request: a partial search over owned groups.
+
+    ``kind="shard"`` keeps the base dispatch honest: ``batch_key()``
+    returns ``None`` (partials never fuse — each carries its own group
+    set and shipped snapshot) and ``cacheable`` is ``False`` for the
+    *whole-query* cache; the shard maintains its own partial-entry
+    discipline in :meth:`ShardServer._execute_shard`.
+    """
+
+    #: Segment groups this sub-request must cover (sorted by the router).
+    shard_groups: tuple[int, ...] = ()
+    #: Snapshot pinned by the router; every shard of one routed query
+    #: executes on this same snapshot (one consistent MVCC view).
+    shard_snapshot: object | None = None
+    #: Watermark vector observed by the router *before* pinning.
+    shard_watermarks: tuple = ()
+    #: Router verdict: the snapshot covers every watermark component, so
+    #: the partial may be cached under the shipped watermark key.
+    shard_cache_ok: bool = False
+
+
+class ShardServer(QueryServer):
+    """A named QueryServer owning ``(tenant, group)`` keys for the router."""
+
+    def __init__(
+        self,
+        db,
+        name: str,
+        config: ServeConfig | None = None,
+        tenants=None,
+        policy=None,
+        injector=None,
+        group_size: int = 1,
+    ):
+        super().__init__(db, config=config, tenants=tenants, policy=policy, injector=injector)
+        if group_size < 1:
+            raise ServeError("group_size must be at least 1")
+        self.name = str(name)
+        self.group_size = int(group_size)
+        # Ownership is a lock leaf guarded by the queue/worker-visible
+        # `_owned_lock`; grant/revoke never call out while holding it.
+        self._owned_lock = threading.Lock()
+        self._owned: set[tuple[str, int]] = set()
+        self._rebalances_in = 0
+        self._rebalances_out = 0
+
+    # ------------------------------------------------------------- ownership
+    def grant(self, tenant: str, group: int) -> None:
+        """Admit ``(tenant, group)``; idempotent (the router may re-grant)."""
+        with self._owned_lock:
+            if (tenant, int(group)) not in self._owned:
+                self._owned.add((tenant, int(group)))
+                self._rebalances_in += 1
+
+    def revoke(self, tenant: str, group: int) -> None:
+        """Drop ``(tenant, group)``; in-flight checks then fail typed."""
+        with self._owned_lock:
+            if (tenant, int(group)) in self._owned:
+                self._owned.discard((tenant, int(group)))
+                self._rebalances_out += 1
+
+    def owns(self, tenant: str, group: int) -> bool:
+        with self._owned_lock:
+            return (tenant, int(group)) in self._owned
+
+    def owned_groups(self, tenant: str | None = None) -> dict[str, list[int]]:
+        """tenant -> sorted owned groups (optionally one tenant only)."""
+        with self._owned_lock:
+            owned = sorted(self._owned)
+        out: dict[str, list[int]] = {}
+        for owner_tenant, group in owned:
+            if tenant is not None and owner_tenant != tenant:
+                continue
+            out.setdefault(owner_tenant, []).append(group)
+        return out
+
+    # ---------------------------------------------------------------- submit
+    def submit_shard(
+        self,
+        vector_attributes,
+        query_vector,
+        k: int,
+        *,
+        tenant: str = "default",
+        ef: int | None = None,
+        filter=None,
+        snapshot,
+        watermarks: tuple = (),
+        cache_ok: bool = False,
+        groups,
+        deadline: float | None = None,
+    ) -> ServeFuture:
+        """Queue one partial search over ``groups`` on the shipped snapshot.
+
+        ``deadline`` is absolute (monotonic clock) — the router forwards
+        the parent request's remaining budget so a shard queue backlog
+        sheds the partial typed instead of holding the merge hostage.
+        """
+        tenant_obj = self.registry.get(tenant)
+        get_telemetry().inc("elastic.shard_requests")
+        request = ShardRequest(
+            kind="shard",
+            tenant=tenant_obj,
+            future=ServeFuture(),
+            submitted_at=time.monotonic(),
+            deadline=deadline,
+            vector_attributes=tuple(vector_attributes),
+            query=np.asarray(query_vector, dtype=np.float32).reshape(-1),
+            k=int(k),
+            ef=ef,
+            filter=filter,
+            shard_groups=tuple(sorted(int(g) for g in groups)),
+            shard_snapshot=snapshot,
+            shard_watermarks=tuple(watermarks),
+            shard_cache_ok=bool(cache_ok),
+        )
+        return self._submit(request)
+
+    # -------------------------------------------------------------- dispatch
+    def _execute_batch(self, batch: list) -> None:
+        if batch and getattr(batch[0], "kind", None) == "shard":
+            # Shard partials never fuse (batch_key None -> singleton
+            # batches), but keep the loop defensive like the base class.
+            try:
+                for request in self._shed_expired(batch):
+                    self._execute_shard(request)
+            except Exception as exc:
+                for request in batch:
+                    if not request.future.done():
+                        self._finish(request, error=exc)
+            return
+        super()._execute_batch(batch)
+
+    def _execute_shard(self, request: ShardRequest) -> None:
+        tel = get_telemetry()
+        tenant = request.tenant.name
+        schedule_point("elastic.shard.execute")
+        with self._owned_lock:
+            missing = [
+                group
+                for group in request.shard_groups
+                if (tenant, group) not in self._owned
+            ]
+        if missing:
+            self._finish(
+                request,
+                error=SegmentOwnershipError(
+                    f"shard '{self.name}' does not own group {missing[0]} for "
+                    f"tenant '{tenant}' (ownership moved mid-route)",
+                    tenant=tenant,
+                    group=missing[0],
+                ),
+            )
+            return
+
+        key = None
+        if (
+            request.shard_cache_ok
+            and request.filter is None
+            and self.cache is not None
+        ):
+            # Watermark-keyed partial entry, disambiguated by the group
+            # tuple (6-tuple keys can never collide with the 5-tuple
+            # whole-query keys sharing the partition).
+            key = ResultCache.key(
+                request.vector_attributes,
+                request.query,
+                request.k,
+                request.ef,
+                request.shard_watermarks,
+            ) + (request.shard_groups,)
+            hit = self.cache.get(tenant, key)
+            if hit is not None:
+                tel.inc("serve.cache_hits")
+                self._finish(request, value=hit)
+                return
+            tel.inc("serve.cache_misses")
+
+        options = VectorSearchOptions(filter=request.filter, ef=request.ef)
+        try:
+            parts = self._with_retries(
+                lambda: vector_search_sharded(
+                    self.db.service,
+                    request.shard_snapshot,
+                    list(request.vector_attributes),
+                    request.query,
+                    request.k,
+                    options,
+                    groups=frozenset(request.shard_groups),
+                    group_size=self.group_size,
+                )
+            )
+        except ReproError as exc:
+            self._finish(request, error=exc)
+            return
+        value = tuple(parts)
+        if key is not None:
+            evicted = self.cache.put(tenant, key, value, kernel="shard")
+            if evicted:
+                tel.inc("serve.cache_evictions", evicted)
+        self._finish(request, value=value)
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        out = super().stats()
+        out["name"] = self.name
+        out["owned"] = self.owned_groups()
+        out["rebalances_in"] = self._rebalances_in
+        out["rebalances_out"] = self._rebalances_out
+        return out

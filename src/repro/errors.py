@@ -201,6 +201,29 @@ class StalenessBoundError(ServeError):
         self.waited = waited
 
 
+class ElasticError(ServeError):
+    """Elastic serve-tier failure (``repro.elastic``): ring, routing,
+    rebalancing, or autoscaling misconfiguration."""
+
+
+class SegmentOwnershipError(ElasticError):
+    """A shard was asked to serve a segment group it does not own.
+
+    Raised by :class:`~repro.elastic.shard.ShardServer` when a routed
+    sub-request reaches execution after the group's ownership moved away —
+    the hazard the rebalancer's watermark-drain handoff exists to prevent
+    (new requests gate at the router, in-flight requests drain before the
+    transfer).  The router treats it as retryable: it re-resolves the
+    owner from the ring and re-dispatches, so a losing race costs one
+    retry, never a failed query.
+    """
+
+    def __init__(self, message: str, tenant: str | None = None, group: int | None = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.group = group
+
+
 class WALCorruptionError(ReproError):
     """The write-ahead log contains a corrupt record that is not a torn tail.
 

@@ -8,6 +8,13 @@ a smoke check that batching/caching/admission behave on a given machine::
     repro-serve --vectors 2000 --dim 32 --queries 400 --concurrency 8
     repro-serve --no-batching --no-cache     # per-query baseline
     repro-serve --tier-budget-mb 1          # demote cold segments to PQ
+    repro-serve --servers 3                 # elastic sharded tier demo
+
+With ``--servers N`` (N > 1) the demo routes through an
+:class:`~repro.elastic.router.ElasticTier` instead of a single
+``QueryServer``, performs one live ``rebalance_evenly`` mid-run under
+traffic, and prints the ownership map, rebalance count, and per-replica
+cache hit rates.
 """
 
 from __future__ import annotations
@@ -45,7 +52,82 @@ def build_demo_db(num_vectors: int, dim: int, seed: int, segment_size: int) -> T
     return db
 
 
+def run_elastic_demo(args) -> int:
+    """The ``--servers N`` path: sharded tier, live rebalance, router stats."""
+    from ..elastic import ElasticTier
+
+    db = build_demo_db(args.vectors, args.dim, args.seed, args.segment_size)
+    rng = np.random.default_rng(args.seed + 1)
+    queries = rng.standard_normal((args.queries, args.dim)).astype(np.float32)
+    config = ServeConfig(
+        workers=args.workers,
+        enable_batching=not args.no_batching,
+        enable_cache=not args.no_cache,
+    )
+    telemetry = Telemetry()
+    latencies: list[float] = []
+    lat_lock = threading.Lock()
+
+    def client(worker_id: int) -> None:
+        for qi in range(worker_id, len(queries), args.concurrency):
+            start = time.perf_counter()
+            tier.search(["Item.emb"], queries[qi], args.k)
+            elapsed = time.perf_counter() - start
+            with lat_lock:
+                latencies.append(elapsed)
+
+    with use_telemetry(telemetry), db, ElasticTier(db, num_servers=args.servers, config=config) as tier:
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(args.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        # A live handoff under traffic, so the printed stats demonstrate
+        # the drain/transfer/re-admit path rather than a quiescent move.
+        tier.rebalance_evenly("default", ["Item.emb"])
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        stats = tier.stats()
+
+    lat = sorted(latencies)
+    p50 = lat[len(lat) // 2]
+    p95 = lat[min(len(lat) - 1, int(len(lat) * 0.95))]
+    print(
+        f"served {len(lat)} queries in {wall:.3f}s  "
+        f"({len(lat) / wall:,.0f} QPS, {args.servers} servers, "
+        f"concurrency {args.concurrency})"
+    )
+    print(f"latency p50 {p50 * 1e3:.2f}ms  p95 {p95 * 1e3:.2f}ms")
+    print(
+        f"  router: {stats['routed_requests']} routed, "
+        f"{stats['route_retries']} route retries, "
+        f"{stats['rebalances']} rebalances, "
+        f"{stats['crash_failovers']} crash failovers, "
+        f"{stats['cache_coherence_bypass']} coherence bypasses"
+    )
+    print(f"  live servers: {', '.join(stats['live_servers'])}")
+    print("  ownership map:")
+    for server in sorted(stats["ownership"]):
+        for tenant, groups in sorted(stats["ownership"][server].items()):
+            print(f"    {server}: tenant {tenant} -> groups {groups}")
+    print("  per-replica:")
+    for name, srv in sorted(stats["servers"].items()):
+        print(
+            f"    {name}: owned {srv['owned']}, "
+            f"in/out rebalances {srv['rebalances_in']}/{srv['rebalances_out']}, "
+            f"cache hit ratio {srv['cache_hit_ratio']:.1%} "
+            f"({srv['cache_entries']} entries), "
+            f"workers alive {srv['workers_alive']}"
+        )
+    return 0
+
+
 def run_demo(args) -> int:
+    if getattr(args, "servers", 1) > 1:
+        return run_elastic_demo(args)
     db = build_demo_db(args.vectors, args.dim, args.seed, args.segment_size)
     tier = None
     if args.tier_budget_mb is not None:
@@ -133,6 +215,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queries", type=int, default=400)
     parser.add_argument("--concurrency", type=int, default=8)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--servers",
+        type=int,
+        default=1,
+        help="route through an elastic tier of this many sharded servers",
+    )
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--no-batching", action="store_true")

@@ -879,9 +879,17 @@ class QueryServer:
     # ---------------------------------------------------------------- stats
     def stats(self) -> dict:
         tier = getattr(self.db, "tier_manager", None)
+        with self._lifecycle_lock:
+            # Configured size vs what actually survives: crashed workers
+            # stay in the registration list as dead threads, so the live
+            # count is the real capacity (respawns keep it at target).
+            workers_alive = sum(
+                1 for worker in self._workers if worker.is_alive()
+            )
         return {
             "running": self.running,
             "workers": self.config.workers,
+            "workers_alive": workers_alive,
             "queue_depth": self.queue.depth(),
             "tenants": sorted(self.registry.names()),
             "batching": self.batcher is not None,

@@ -11,17 +11,29 @@ virtual *pass*; the dispatcher always pops from the non-empty tenant with
 the smallest pass and advances it by ``1 / weight``, so a weight-3 tenant
 drains three requests for every one of a weight-1 tenant while neither
 starves.
+
+*Within* a tenant, dequeue is deadline-ordered (EDF) rather than FIFO:
+each per-tenant queue is a heap keyed by ``(deadline, arrival_seq)``, so
+a near-deadline request runs before an earlier-arrived request with
+slack, and requests without deadlines (or with equal deadlines) keep
+exact arrival order via the monotone sequence tiebreak.  Cross-tenant
+fairness is untouched — EDF only chooses *which* of a tenant's requests
+uses the stride slot the tenant already won.  Every pop that overtakes
+an earlier arrival is counted in ``serve.deadline_reorders`` (recorded
+outside the condition: the queue stays a lock leaf).
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..errors import AdmissionRejectedError, ServeError
+from ..telemetry import get_telemetry
 
 __all__ = ["Tenant", "TenantRegistry", "WeightedFairQueue"]
 
@@ -90,12 +102,20 @@ class WeightedFairQueue:
     def __init__(self, registry: TenantRegistry):
         self._registry = registry
         self._cond = threading.Condition(threading.Lock())
-        self._queues: dict[str, deque] = {}
+        #: Per-tenant EDF heaps of ``(deadline_key, arrival_seq, item)``.
+        self._queues: dict[str, list] = {}
         self._passes: dict[str, float] = {}
         self._vtime = 0.0
         self._size = 0
         self._puts = 0  # monotone arrival counter; see wait_for_put
+        self._seq = 0  # within-tenant FIFO tiebreak for equal deadlines
         self._closed = False
+
+    @staticmethod
+    def _deadline_key(item) -> float:
+        """EDF sort key: the item's deadline, or +inf for pure FIFO."""
+        deadline = getattr(item, "deadline", None)
+        return math.inf if deadline is None else float(deadline)
 
     # ------------------------------------------------------------- producers
     def put(self, item, tenant_name: str) -> int:
@@ -109,7 +129,7 @@ class WeightedFairQueue:
                 )
             queue = self._queues.get(tenant_name)
             if queue is None:
-                queue = self._queues[tenant_name] = deque()
+                queue = self._queues[tenant_name] = []
             if not queue:
                 # Stride activation: a long-idle tenant resumes at the
                 # current virtual time instead of monopolizing the workers
@@ -117,7 +137,8 @@ class WeightedFairQueue:
                 self._passes[tenant_name] = max(
                     self._passes.get(tenant_name, 0.0), self._vtime
                 )
-            queue.append(item)
+            self._seq += 1
+            heapq.heappush(queue, (self._deadline_key(item), self._seq, item))
             self._size += 1
             self._puts += 1
             self._cond.notify_all()
@@ -140,13 +161,25 @@ class WeightedFairQueue:
             return len(queue) if queue else 0
 
     def _pop_fair(self, eligible: list[str]):  # repro: noqa[R001] -- only reachable from take/drain_matching, which hold _cond
-        """Pop from the eligible tenant with the smallest pass (cond held)."""
+        """EDF-pop from the eligible tenant with the smallest pass (cond held).
+
+        Returns ``(item, reordered)``; ``reordered`` is True when the pop
+        overtook an earlier arrival of the same tenant (a deadline jump),
+        so callers can record ``serve.deadline_reorders`` after releasing
+        the condition.
+        """
         name = min(eligible, key=lambda n: (self._passes[n], n))
-        item = self._queues[name].popleft()
+        queue = self._queues[name]
+        deadline_key, seq, item = heapq.heappop(queue)
+        # An infinite-key pop means no deadline-bearing entry remains, and
+        # the seq tiebreak makes it the oldest arrival — never a reorder.
+        reordered = deadline_key != math.inf and any(
+            entry[1] < seq for entry in queue
+        )
         self._size -= 1
         self._vtime = max(self._vtime, self._passes[name])
         self._passes[name] += 1.0 / self._registry.get(name).weight
-        return item
+        return item, reordered
 
     def take(self, timeout: float | None = None):
         """Dequeue the fair-scheduled next request.
@@ -154,11 +187,13 @@ class WeightedFairQueue:
         Returns ``None`` on timeout, or when the queue is closed and empty.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        item = reordered = None
         with self._cond:
             while True:
                 if self._size:
                     eligible = [n for n, q in self._queues.items() if q]
-                    return self._pop_fair(eligible)
+                    item, reordered = self._pop_fair(eligible)
+                    break
                 if self._closed:
                     return None
                 if deadline is None:
@@ -168,22 +203,31 @@ class WeightedFairQueue:
                     if remaining <= 0:
                         return None
                     self._cond.wait(remaining)
+        if reordered:
+            get_telemetry().inc("serve.deadline_reorders")
+        return item
 
     def drain_matching(self, predicate: Callable, limit: int) -> list:
         """Pop up to ``limit`` queue *fronts* that satisfy ``predicate``.
 
-        Only fronts are considered so per-tenant FIFO order is preserved;
-        fairness charges apply as in :meth:`take`.  Non-blocking.
+        Only fronts (each tenant's EDF head) are considered so per-tenant
+        dequeue order is preserved; fairness charges apply as in
+        :meth:`take`.  Non-blocking.
         """
         out: list = []
+        reorders = 0
         with self._cond:
             while len(out) < limit and self._size:
                 eligible = [
-                    n for n, q in self._queues.items() if q and predicate(q[0])
+                    n for n, q in self._queues.items() if q and predicate(q[0][2])
                 ]
                 if not eligible:
                     break
-                out.append(self._pop_fair(eligible))
+                item, reordered = self._pop_fair(eligible)
+                out.append(item)
+                reorders += int(reordered)
+        if reorders:
+            get_telemetry().inc("serve.deadline_reorders", reorders)
         return out
 
     def put_sequence(self) -> int:
@@ -215,7 +259,7 @@ class WeightedFairQueue:
             self._closed = True
             leftovers: list = []
             for queue in self._queues.values():
-                leftovers.extend(queue)
+                leftovers.extend(entry[2] for entry in sorted(queue))
                 queue.clear()
             self._size = 0
             self._cond.notify_all()

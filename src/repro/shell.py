@@ -40,8 +40,11 @@ GSQL shell — statements end with ';'. Meta-commands:
   \\schema       show the catalog
   \\explain ...  print the plan of one SELECT block (no execution)
   \\seed N D     create an Item vertex type with N random D-dim embeddings
-  \\serve [Q C M] run Q queries at concurrency C through a QueryServer demo
-                (M = hot-tier budget in MiB: enables tiered storage)
+  \\serve [Q C M [S]] run Q queries at concurrency C through a QueryServer demo
+                (M = hot-tier budget in MiB: enables tiered storage;
+                 S > 1 = route through an elastic tier of S sharded servers
+                 with a live mid-run rebalance, printing the ownership map,
+                 rebalance count, and per-replica cache hit rates)
   \\stats        print the live telemetry metrics snapshot
   \\q            quit
 Query parameters are not supported interactively — inline literals instead.
@@ -125,10 +128,16 @@ class GSQLShell:
                 queries = int(parts[0]) if parts else 200
                 concurrency = int(parts[1]) if len(parts) > 1 else 8
                 tier_mb = float(parts[2]) if len(parts) > 2 else None
+                servers = int(parts[3]) if len(parts) > 3 else 1
             except ValueError:
-                self._print("usage: \\serve [QUERIES [CONCURRENCY [TIER_MB]]]")
+                self._print(
+                    "usage: \\serve [QUERIES [CONCURRENCY [TIER_MB [SERVERS]]]]"
+                )
                 return True
-            self._serve_demo(queries, concurrency, tier_mb)
+            if servers > 1:
+                self._serve_elastic_demo(queries, concurrency, servers)
+            else:
+                self._serve_demo(queries, concurrency, tier_mb)
         elif cmd == "\\stats":
             self._print(format_snapshot(self.telemetry.registry.snapshot()))
         else:
@@ -226,6 +235,78 @@ class GSQLShell:
                 f"{tier['resident_bytes']:,} resident bytes "
                 f"(budget {tier['budget_bytes']:,}), "
                 f"{counters.get('tier.cold_hits', 0)} cold hits"
+            )
+
+    def _serve_elastic_demo(
+        self, queries: int, concurrency: int, servers: int
+    ) -> None:
+        """Route the demo load through an elastic sharded tier (DESIGN §13)
+        with one live rebalance mid-run, then print the router's view:
+        ownership map, rebalance count, per-replica cache hit rates."""
+        import threading
+        import time
+
+        from .elastic import ElasticTier
+        from .serve import ServeConfig
+
+        target = None
+        for name, vtype in self.db.schema.vertex_types.items():
+            for emb in vtype.embeddings.values():
+                target = (f"{name}.{emb.name}", emb.dimension)
+                break
+            if target:
+                break
+        if target is None:
+            self._print("no embedding attributes — try \\seed first")
+            return
+        attr, dim = target
+        if queries < 1 or concurrency < 1 or servers < 2:
+            self._print("usage: \\serve [QUERIES [CONCURRENCY [TIER_MB [SERVERS]]]]")
+            return
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((queries, dim)).astype(np.float32)
+
+        def client(worker_id: int, tier: ElasticTier) -> None:
+            for qi in range(worker_id, queries, concurrency):
+                try:
+                    tier.search([attr], vectors[qi], 5)
+                except ReproError:
+                    pass
+
+        with use_telemetry(self.telemetry):
+            config = ServeConfig(workers=min(4, concurrency))
+            start = time.perf_counter()
+            with ElasticTier(self.db, num_servers=servers, config=config) as tier:
+                threads = [
+                    threading.Thread(target=client, args=(i, tier))
+                    for i in range(concurrency)
+                ]
+                for thread in threads:
+                    thread.start()
+                tier.rebalance_evenly("default", [attr])
+                for thread in threads:
+                    thread.join()
+                stats = tier.stats()
+            wall = time.perf_counter() - start
+        self._print(
+            f"served {queries} queries on {attr} in {wall * 1e3:.1f} ms "
+            f"({queries / wall:,.0f} QPS, {servers} servers, "
+            f"concurrency {concurrency})"
+        )
+        self._print(
+            f"  router: {stats['routed_requests']} routed, "
+            f"{stats['route_retries']} retries, "
+            f"{stats['rebalances']} rebalances, "
+            f"{stats['cache_coherence_bypass']} coherence bypasses"
+        )
+        for server in sorted(stats["ownership"]):
+            for tenant, groups in sorted(stats["ownership"][server].items()):
+                self._print(f"  {server}: tenant {tenant} -> groups {groups}")
+        for name, srv in sorted(stats["servers"].items()):
+            self._print(
+                f"  {name}: cache hit ratio {srv['cache_hit_ratio']:.1%} "
+                f"({srv['cache_entries']} entries), "
+                f"rebalances in/out {srv['rebalances_in']}/{srv['rebalances_out']}"
             )
 
     def handle_statement(self, text: str) -> None:

@@ -107,10 +107,38 @@ INSTRUMENTS: dict[str, tuple[str, str]] = {
         "counter",
         "fused batches degraded to per-query execution after injected faults",
     ),
+    "serve.deadline_reorders": (
+        "counter",
+        "dequeues where a near-deadline request overtook an earlier arrival",
+    ),
     "serve.queue_depth": ("gauge", "requests waiting in the weighted-fair queue"),
     "serve.batch_size": ("histogram", "requests fused per executed micro-batch"),
     "serve.queue_wait_seconds": ("histogram", "submit-to-dequeue queue wait"),
     "serve.latency_seconds": ("histogram", "submit-to-answer serving latency"),
+    # ---- elastic serve tier ---------------------------------------------
+    "elastic.routed_requests": ("counter", "queries routed through the elastic tier"),
+    "elastic.shard_requests": ("counter", "partial sub-requests dispatched to shards"),
+    "elastic.route_retries": (
+        "counter",
+        "sub-requests re-routed after an ownership race or server crash",
+    ),
+    "elastic.rebalances": ("counter", "completed live segment-group handoffs"),
+    "elastic.rebalance_drain_waits": (
+        "counter",
+        "waits for in-flight requests to drain before a handoff transfer",
+    ),
+    "elastic.handoff_gate_waits": (
+        "counter",
+        "routed requests gated behind an in-progress handoff",
+    ),
+    "elastic.cache_coherence_bypass": (
+        "counter",
+        "fan-outs shipped cache_ok=False: watermark outran the routed snapshot",
+    ),
+    "elastic.crash_failovers": ("counter", "servers failed out of the ring"),
+    "elastic.scale_out": ("counter", "autoscaler scale-out decisions applied"),
+    "elastic.scale_in": ("counter", "autoscaler scale-in decisions applied"),
+    "elastic.servers": ("gauge", "live servers in the elastic tier"),
     # ---- product quantization -------------------------------------------
     "pq.trainings": ("counter", "PQ codebook trainings (segment demotions)"),
     "pq.train_seconds": ("histogram", "per-segment PQ codebook training time"),

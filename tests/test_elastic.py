@@ -1,0 +1,699 @@
+"""Tests for repro.elastic: the sharded, consistent-hash-routed serve tier.
+
+Covers the acceptance contracts of the elastic PR:
+
+- the consistent-hash ring: deterministic ownership, key-distribution
+  uniformity bounds, minimal key movement on join/leave, pins, and the
+  bounded-load assignment cap;
+- byte identity: sharded partials merged by ``merge_sharded_topk`` equal
+  ``vector_search_merged`` for every partition of the group universe, and
+  an :class:`ElasticTier` (1 or N servers) answers exactly like a single
+  ``QueryServer`` / direct ``db.vector_search``;
+- live rebalancing: drain-at-a-TID handoff records, ownership movement,
+  identity preserved under moves, scale out/in migration;
+- replica-coherent caching: a commit advances the watermark vector, so
+  no replica can serve a pre-commit partial for a post-commit request;
+- the telemetry-driven autoscaler's decision debouncing;
+- EDF dequeue within a tenant (satellite): fewer deadline misses than
+  FIFO at equal throughput, ``serve.deadline_reorders`` accounting, and
+  untouched cross-tenant fairness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.core.search import (
+    merge_sharded_topk,
+    vector_search_merged,
+    vector_search_sharded,
+)
+from repro.elastic import (
+    AutoscalePolicy,
+    Autoscaler,
+    ConsistentHashRing,
+    ElasticTier,
+    ShardServer,
+    SimulatedElasticServe,
+)
+from repro.errors import ElasticError, SegmentOwnershipError, ServeError
+from repro.graph.accumulators import MapAccum
+from repro.serve import QueryServer, ServeConfig, Tenant, TenantRegistry, WeightedFairQueue
+from repro.telemetry import Telemetry, use_telemetry
+
+ATTR = "Post.content_emb"
+DIM = 16
+
+
+def members(vset):
+    return sorted(vset)
+
+
+def direct(db, query, k):
+    dmap = MapAccum()
+    vset = db.vector_search([ATTR], query, k, distance_map=dmap)
+    return members(vset), dict(dmap.items())
+
+
+def merged_triples(db, query, k):
+    """Direct-path ordered (dist, vtype, vid) triples — the byte-identity oracle."""
+    with db.snapshot() as snapshot:
+        return list(
+            vector_search_merged(db.service, snapshot, [ATTR], query, k)
+        )
+
+
+# --------------------------------------------------------------------------
+# consistent-hash ring properties (satellite 2)
+# --------------------------------------------------------------------------
+
+
+class TestRingBasics:
+    def test_owner_deterministic(self):
+        ring = ConsistentHashRing()
+        for name in ("a", "b", "c"):
+            ring.add(name)
+        owners = [ring.owner("default", g) for g in range(20)]
+        again = ConsistentHashRing()
+        for name in ("c", "a", "b"):  # insertion order must not matter
+            again.add(name)
+        assert owners == [again.owner("default", g) for g in range(20)]
+
+    def test_empty_ring_raises(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(ElasticError):
+            ring.owner("default", 0)
+
+    def test_add_is_idempotent(self):
+        ring = ConsistentHashRing(vnodes=8)
+        ring.add("a")
+        ring.add("a")
+        assert len(ring) == 1
+        assert ring.servers() == ["a"]
+
+    def test_pin_overrides_and_dissolves(self):
+        ring = ConsistentHashRing()
+        ring.add("a")
+        ring.add("b")
+        hash_owner = ring.hash_owner("default", 7)
+        other = "a" if hash_owner == "b" else "b"
+        ring.pin("default", 7, other)
+        assert ring.owner("default", 7) == other
+        assert ring.hash_owner("default", 7) == hash_owner
+        # Pinning back to the hash owner drops the override entirely.
+        ring.pin("default", 7, hash_owner)
+        assert ring.pins() == {}
+        # A pin to a departed server dissolves to hash ownership.
+        ring.pin("default", 7, other)
+        ring.remove(other)
+        assert ring.pins() == {}
+        assert ring.owner("default", 7) == "a" if other == "b" else "b"
+
+    def test_pin_unknown_server_raises(self):
+        ring = ConsistentHashRing()
+        ring.add("a")
+        with pytest.raises(ElasticError):
+            ring.pin("default", 0, "ghost")
+
+
+class TestRingDistribution:
+    """Property tests: uniformity bounds and minimal movement."""
+
+    NUM_KEYS = 3000
+
+    def test_key_distribution_uniformity(self):
+        servers = [f"s{i}" for i in range(4)]
+        ring = ConsistentHashRing(vnodes=96)
+        for name in servers:
+            ring.add(name)
+        counts = dict.fromkeys(servers, 0)
+        for group in range(self.NUM_KEYS):
+            counts[ring.owner("default", group)] += 1
+        share = {name: counts[name] / self.NUM_KEYS for name in servers}
+        # 96 vnodes/server keeps raw hash shares well inside [1/2n, 2/n].
+        for name in servers:
+            assert 1 / (2 * len(servers)) <= share[name] <= 2 / len(servers), share
+
+    def test_balanced_assignment_exact_cap(self):
+        ring = ConsistentHashRing()
+        for name in ("a", "b", "c"):
+            ring.add(name)
+        groups = list(range(20))
+        plan = ring.balanced_assignment("default", groups)
+        assert sorted(plan) == groups
+        loads = [list(plan.values()).count(name) for name in ("a", "b", "c")]
+        assert max(loads) <= math.ceil(len(groups) / 3)
+        assert sum(loads) == len(groups)
+
+    def test_balanced_assignment_honors_pins(self):
+        ring = ConsistentHashRing()
+        ring.add("a")
+        ring.add("b")
+        target = "a" if ring.hash_owner("t", 0) == "b" else "b"
+        ring.pin("t", 0, target)
+        plan = ring.balanced_assignment("t", range(10))
+        assert plan[0] == target
+
+    def test_minimal_movement_on_join(self):
+        servers = [f"s{i}" for i in range(3)]
+        ring = ConsistentHashRing(vnodes=96)
+        for name in servers:
+            ring.add(name)
+        before = ring.assignment("default", range(self.NUM_KEYS))
+        ring.add("joiner")
+        after = ring.assignment("default", range(self.NUM_KEYS))
+        moved = [g for g in before if before[g] != after[g]]
+        # Every moved key moved *to* the joiner — nothing reshuffles
+        # between incumbents — and the moved fraction is close to the
+        # expected 1/n arc capture (generous 2x tolerance).
+        assert all(after[g] == "joiner" for g in moved)
+        assert len(moved) / self.NUM_KEYS <= 2 / (len(servers) + 1)
+        assert moved, "joiner captured no keys at all"
+
+    def test_minimal_movement_on_leave(self):
+        servers = [f"s{i}" for i in range(4)]
+        ring = ConsistentHashRing(vnodes=96)
+        for name in servers:
+            ring.add(name)
+        before = ring.assignment("default", range(self.NUM_KEYS))
+        ring.remove("s2")
+        after = ring.assignment("default", range(self.NUM_KEYS))
+        for group, owner in before.items():
+            if owner != "s2":
+                # Only the departed server's keys change hands.
+                assert after[group] == owner
+            else:
+                assert after[group] != "s2"
+
+
+# --------------------------------------------------------------------------
+# sharded search byte identity
+# --------------------------------------------------------------------------
+
+
+class TestShardedIdentity:
+    def partitions(self, num_groups):
+        yield [list(range(num_groups))]  # everything in one shard
+        yield [[g] for g in range(num_groups)]  # one group per shard
+        half = num_groups // 2
+        yield [list(range(half)), list(range(half, num_groups))]
+        yield [list(range(0, num_groups, 2)), list(range(1, num_groups, 2))]
+
+    def test_merge_reconstructs_unsharded_topk(self, loaded_post_db, rng):
+        db = loaded_post_db
+        store = db.service.store("Post", "content_emb")
+        num_groups = store.num_segments
+        assert num_groups >= 2, "fixture must span multiple segments"
+        queries = rng.standard_normal((6, DIM)).astype(np.float32)
+        for q in queries:
+            want = merged_triples(db, q, 5)
+            for partition in self.partitions(num_groups):
+                with db.snapshot() as snapshot:
+                    parts = [
+                        vector_search_sharded(
+                            db.service,
+                            snapshot,
+                            [ATTR],
+                            q,
+                            5,
+                            groups=frozenset(shard),
+                            group_size=1,
+                        )
+                        for shard in partition
+                    ]
+                assert merge_sharded_topk(parts, 5) == want
+
+    def test_group_size_coarsens_partitioning(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        want = merged_triples(db, q, 5)
+        with db.snapshot() as snapshot:
+            parts = [
+                vector_search_sharded(
+                    db.service, snapshot, [ATTR], q, 5,
+                    groups=frozenset([g]), group_size=2,
+                )
+                for g in range(2)
+            ]
+        assert merge_sharded_topk(parts, 5) == want
+
+    def test_empty_group_set_yields_empty_partial(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with db.snapshot() as snapshot:
+            parts = vector_search_sharded(
+                db.service, snapshot, [ATTR], q, 5,
+                groups=frozenset([999]), group_size=1,
+            )
+        assert parts == [("Post", ())]
+
+
+# --------------------------------------------------------------------------
+# the elastic tier
+# --------------------------------------------------------------------------
+
+
+def tier_config():
+    return ServeConfig(workers=2, enable_batching=False, enable_cache=True)
+
+
+class TestElasticTier:
+    def test_single_server_matches_query_server(self, loaded_post_db, rng):
+        db = loaded_post_db
+        queries = rng.standard_normal((8, DIM)).astype(np.float32)
+        config = tier_config()
+        with QueryServer(db, config) as server, ElasticTier(
+            db, num_servers=1, config=config
+        ) as tier:
+            for q in queries:
+                dmap_t, dmap_s = MapAccum(), MapAccum()
+                got = tier.search([ATTR], q, 5, distance_map=dmap_t)
+                want = server.search([ATTR], q, 5, distance_map=dmap_s)
+                assert members(got) == members(want)
+                assert dict(dmap_t.items()) == dict(dmap_s.items())
+
+    def test_multi_server_matches_direct(self, loaded_post_db, rng):
+        db = loaded_post_db
+        queries = rng.standard_normal((8, DIM)).astype(np.float32)
+        with ElasticTier(db, num_servers=3, config=tier_config()) as tier:
+            for q in queries:
+                dmap = MapAccum()
+                got = tier.search([ATTR], q, 5, distance_map=dmap)
+                want_members, want_dists = direct(db, q, 5)
+                assert members(got) == want_members
+                assert dict(dmap.items()) == want_dists
+
+    def test_routing_fans_out_to_owners(self, loaded_post_db, rng):
+        db = loaded_post_db
+        telemetry = Telemetry()
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with use_telemetry(telemetry), ElasticTier(
+            db, num_servers=2, config=tier_config()
+        ) as tier:
+            tier.search([ATTR], q, 5)
+            ownership = tier.ownership()
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["elastic.routed_requests"] == 1
+        owners_touched = len(ownership)
+        assert counters["elastic.shard_requests"] == owners_touched
+        granted = sorted(
+            g for per_tenant in ownership.values() for g in per_tenant["default"]
+        )
+        assert granted == tier.group_universe([ATTR])
+
+    def test_search_requires_start(self, loaded_post_db, rng):
+        tier = ElasticTier(loaded_post_db, num_servers=2)
+        with pytest.raises(ServeError):
+            tier.search([ATTR], rng.standard_normal(DIM).astype(np.float32), 3)
+
+    def test_rebalance_moves_ownership_live(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with ElasticTier(db, num_servers=2, config=tier_config()) as tier:
+            want_members, want_dists = direct(db, q, 5)
+            tier.search([ATTR], q, 5)
+            group = 0
+            src = next(
+                name
+                for name, shard in tier.shards.items()
+                if shard.owns("default", group)
+            )
+            dst = next(name for name in tier.shards if name != src)
+            record = tier.rebalance("default", group, dst)
+            assert record is not None
+            assert record["from"] == src and record["to"] == dst
+            assert record["drain_tid"] >= 0
+            assert tier.shards[dst].owns("default", group)
+            assert not tier.shards[src].owns("default", group)
+            # No-op move reports None and changes nothing.
+            assert tier.rebalance("default", group, dst) is None
+            dmap = MapAccum()
+            got = tier.search([ATTR], q, 5, distance_map=dmap)
+            assert members(got) == want_members
+            assert dict(dmap.items()) == want_dists
+            assert tier.stats()["rebalances"] == 1
+
+    def test_rebalance_unknown_target_raises(self, loaded_post_db):
+        with ElasticTier(loaded_post_db, num_servers=2) as tier:
+            with pytest.raises(ElasticError):
+                tier.rebalance("default", 0, "ghost")
+
+    def test_rebalance_evenly_bounds_load(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with ElasticTier(db, num_servers=3, config=tier_config()) as tier:
+            tier.search([ATTR], q, 5)
+            tier.rebalance_evenly("default", [ATTR])
+            groups = tier.group_universe([ATTR])
+            cap = math.ceil(len(groups) / 3)
+            for shard in tier.shards.values():
+                owned = shard.owned_groups("default").get("default", [])
+                assert len(owned) <= cap
+            want_members, _ = direct(db, q, 5)
+            assert members(tier.search([ATTR], q, 5)) == want_members
+
+    def test_crash_failover_reroutes(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), ElasticTier(
+            db, num_servers=3, config=tier_config()
+        ) as tier:
+            want_members, _ = direct(db, q, 5)
+            tier.search([ATTR], q, 5)
+            victim = sorted(tier.shards)[1]
+            tier.shards[victim].stop()  # hard crash: server just dies
+            got = tier.search([ATTR], q, 5)
+            assert members(got) == want_members
+            assert victim not in tier._live_names()
+            for per_tenant in tier.ownership().items():
+                assert per_tenant[0] != victim
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["elastic.crash_failovers"] == 1
+
+    def test_scale_out_and_in_migrate_keys(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with ElasticTier(db, num_servers=2, config=tier_config()) as tier:
+            want_members, _ = direct(db, q, 5)
+            tier.search([ATTR], q, 5)
+            name = tier.add_server()
+            assert tier.shards[name].running
+            assert members(tier.search([ATTR], q, 5)) == want_members
+            removed = tier.remove_server(name)
+            assert removed == name
+            assert name not in tier.shards
+            assert members(tier.search([ATTR], q, 5)) == want_members
+            # Every key migrated off the removed server before it stopped.
+            for server in tier.ownership():
+                assert server != name
+
+    def test_remove_last_server_refused(self, loaded_post_db):
+        with ElasticTier(loaded_post_db, num_servers=1) as tier:
+            with pytest.raises(ElasticError):
+                tier.remove_server()
+
+    def test_stats_shape(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with use_telemetry(Telemetry()), ElasticTier(
+            db, num_servers=2, config=tier_config()
+        ) as tier:
+            tier.search([ATTR], q, 5)
+            stats = tier.stats()
+        assert set(stats["servers"]) == {"shard-0", "shard-1"}
+        for srv in stats["servers"].values():
+            assert {"running", "owned", "rebalances_in", "rebalances_out",
+                    "queue_depth", "workers_alive", "cache_hit_ratio",
+                    "cache_entries"} <= set(srv)
+        assert stats["routed_requests"] >= 1
+        assert stats["rebalances"] == 0 and stats["rebalance_log"] == []
+
+
+class TestReplicaCoherence:
+    def test_partial_cache_hits_on_repeat(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        telemetry = Telemetry()
+        with use_telemetry(telemetry), ElasticTier(
+            db, num_servers=2, config=tier_config()
+        ) as tier:
+            first = members(tier.search([ATTR], q, 5))
+            second = members(tier.search([ATTR], q, 5))
+        assert first == second
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.cache_hits"] >= 1
+
+    def test_commit_invalidates_every_replica(self, loaded_post_db, rng):
+        """The replica-coherence contract: after a commit advances the
+        watermark vector, no replica may serve a pre-commit cached
+        partial — the post-commit nearest neighbor must appear."""
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with ElasticTier(db, num_servers=3, config=tier_config()) as tier:
+            before = members(tier.search([ATTR], q, 5))
+            # Warm every replica's partial cache.
+            assert members(tier.search([ATTR], q, 5)) == before
+            with db.begin() as txn:
+                txn.upsert_vertex("Post", 9000, {"language": "en", "length": 1})
+                txn.set_embedding("Post", 9000, "content_emb", q)  # exact hit
+            got = members(tier.search([ATTR], q, 5))
+            assert ("Post", db.vid_for("Post", 9000)) in got
+            want_members, _ = direct(db, q, 5)
+            assert got == want_members
+
+    def test_sla_answers_are_fresh_across_replicas(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        with ElasticTier(db, num_servers=2, config=tier_config()) as tier:
+            with db.begin() as txn:
+                txn.upsert_vertex("Post", 9001, {"language": "fr", "length": 2})
+                txn.set_embedding("Post", 9001, "content_emb", q)
+            with db.snapshot() as snapshot:
+                token = snapshot.tid
+            got = members(
+                tier.search([ATTR], q, 5, max_staleness=0, session_token=token)
+            )
+            assert ("Post", db.vid_for("Post", 9001)) in got
+
+
+# --------------------------------------------------------------------------
+# autoscaler decisions
+# --------------------------------------------------------------------------
+
+
+class TestAutoscaler:
+    def test_policy_validation(self):
+        with pytest.raises(ServeError):
+            AutoscalePolicy(queue_delay_p99=0.0)
+        with pytest.raises(ServeError):
+            AutoscalePolicy(min_servers=3, max_servers=2)
+
+    def test_scale_out_after_consecutive_breaches(self):
+        scaler = Autoscaler(AutoscalePolicy(
+            queue_delay_p99=0.05, breach_observations=3, max_servers=4
+        ))
+        assert scaler.observe(0.2, 2) == "hold"
+        assert scaler.observe(0.2, 2) == "hold"
+        assert scaler.observe(0.2, 2) == "scale_out"
+        # The streak resets after a decision fires.
+        assert scaler.observe(0.2, 3) == "hold"
+
+    def test_midband_reading_resets_streaks(self):
+        scaler = Autoscaler(AutoscalePolicy(
+            queue_delay_p99=0.05, breach_observations=2
+        ))
+        assert scaler.observe(0.2, 2) == "hold"
+        assert scaler.observe(0.02, 2) == "hold"  # mid-band: resets
+        assert scaler.observe(0.2, 2) == "hold"
+        assert scaler.observe(0.2, 2) == "scale_out"
+
+    def test_scale_in_on_sustained_idle(self):
+        policy = AutoscalePolicy(
+            queue_delay_p99=0.05,
+            idle_delay_p99=0.005,
+            idle_observations=3,
+            min_servers=1,
+        )
+        scaler = Autoscaler(policy)
+        assert scaler.observe(0.001, 3) == "hold"
+        assert scaler.observe(0.001, 3) == "hold"
+        assert scaler.observe(0.001, 3) == "scale_in"
+
+    def test_bounds_respected(self):
+        policy = AutoscalePolicy(
+            queue_delay_p99=0.05,
+            breach_observations=1,
+            idle_delay_p99=0.005,
+            idle_observations=1,
+            min_servers=2,
+            max_servers=2,
+        )
+        scaler = Autoscaler(policy)
+        assert scaler.observe(1.0, 2) == "hold"  # at max: no scale_out
+        assert scaler.observe(0.0, 2) == "hold"  # at min: no scale_in
+
+    def test_autoscale_step_scales_tier_out(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        telemetry = Telemetry()
+        policy = AutoscalePolicy(queue_delay_p99=1e-9, breach_observations=1)
+        with use_telemetry(telemetry), ElasticTier(
+            db, num_servers=1, config=tier_config(), autoscale=policy
+        ) as tier:
+            want_members, _ = direct(db, q, 5)
+            tier.search([ATTR], q, 5)  # records a queue_wait above the bound
+            assert tier.autoscale_step() == "scale_out"
+            assert len(tier._live_names()) == 2
+            assert members(tier.search([ATTR], q, 5)) == want_members
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["elastic.scale_out"] == 1
+
+
+# --------------------------------------------------------------------------
+# simulated scaling smoke (the full curve lives in the benchmark)
+# --------------------------------------------------------------------------
+
+
+class TestSimulatedScaling:
+    def test_placement_balanced(self):
+        sim = SimulatedElasticServe(num_servers=4, num_segments=32)
+        counts = sim.segment_counts()
+        assert sum(counts) == 32
+        assert max(counts) - min(counts) <= 1
+
+    def test_two_servers_nearly_double_qps(self):
+        one = SimulatedElasticServe(num_servers=1, num_segments=32)
+        two = SimulatedElasticServe(num_servers=2, num_segments=32)
+        qps1 = one.run_open_loop(duration_seconds=1.0, target_qps=400.0).qps
+        qps2 = two.run_open_loop(duration_seconds=1.0, target_qps=400.0).qps
+        assert qps2 >= 1.7 * qps1
+
+
+# --------------------------------------------------------------------------
+# EDF dequeue within a tenant (satellite 1)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Req:
+    """Queue item shaped like a QueryRequest for scheduling purposes."""
+
+    tag: int
+    deadline: float | None = None
+
+
+class TestDeadlineOrderedDequeue:
+    def test_edf_within_tenant(self):
+        queue = WeightedFairQueue(TenantRegistry())
+        queue.put(_Req(0, deadline=30.0), "default")
+        queue.put(_Req(1, deadline=10.0), "default")
+        queue.put(_Req(2, deadline=20.0), "default")
+        order = [queue.take(timeout=1).tag for _ in range(3)]
+        assert order == [1, 2, 0]
+
+    def test_no_deadline_stays_fifo(self):
+        queue = WeightedFairQueue(TenantRegistry())
+        for tag in range(4):
+            queue.put(_Req(tag), "default")
+        assert [queue.take(timeout=1).tag for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_deadline_bearing_preempts_unbounded(self):
+        queue = WeightedFairQueue(TenantRegistry())
+        queue.put(_Req(0), "default")
+        queue.put(_Req(1, deadline=5.0), "default")
+        assert queue.take(timeout=1).tag == 1
+
+    def test_reorders_counted(self):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            queue = WeightedFairQueue(TenantRegistry())
+            queue.put(_Req(0, deadline=99.0), "default")
+            queue.put(_Req(1, deadline=1.0), "default")
+            assert queue.take(timeout=1).tag == 1  # overtook request 0
+            assert queue.take(timeout=1).tag == 0  # oldest left: no reorder
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["serve.deadline_reorders"] == 1
+
+    def test_cross_tenant_fairness_untouched(self):
+        registry = TenantRegistry(
+            [Tenant("heavy", weight=2.0), Tenant("light", weight=1.0)]
+        )
+        queue = WeightedFairQueue(registry)
+        for tag in range(6):
+            queue.put(_Req(tag, deadline=float(100 - tag)), "heavy")
+        for tag in range(6):
+            queue.put(_Req(100 + tag), "light")
+        drained = [queue.take(timeout=1) for _ in range(12)]
+        heavy = [r.tag for r in drained if r.tag < 100]
+        light = [r.tag for r in drained if r.tag >= 100]
+        # Stride fairness: a 2:1 weight split drains ~2 heavy per light.
+        first_nine = drained[:9]
+        assert sum(1 for r in first_nine if r.tag < 100) == 6
+        # Within heavy, EDF order (descending tag = ascending deadline).
+        assert heavy == [5, 4, 3, 2, 1, 0]
+        assert light == [100, 101, 102, 103, 104, 105]
+
+    def test_fewer_deadline_misses_at_equal_throughput(self):
+        """The satellite's regression: with all requests queued and unit
+        service time, EDF dequeue meets every deadline the permutation
+        allows while arrival-order FIFO misses many — at identical
+        throughput (same requests, same service rate)."""
+        service_time = 1.0
+        count = 40
+        rng = np.random.default_rng(7)
+        deadlines = rng.permutation(count) + 1.0  # a shuffled 1..N
+        requests = [
+            _Req(tag, deadline=float(deadlines[tag])) for tag in range(count)
+        ]
+        queue = WeightedFairQueue(TenantRegistry())
+        for request in requests:
+            queue.put(request, "default")
+        edf_order = [queue.take(timeout=1) for _ in range(count)]
+        assert {r.tag for r in edf_order} == set(range(count))
+
+        def misses(order):
+            now, missed = 0.0, 0
+            for request in order:
+                now += service_time
+                if now > request.deadline:
+                    missed += 1
+            return missed
+
+        fifo_misses = misses(requests)
+        edf_misses = misses(edf_order)
+        assert edf_misses == 0  # deadlines are a permutation: EDF fits all
+        assert fifo_misses > 0
+        assert len(edf_order) == len(requests)  # equal throughput
+
+
+# --------------------------------------------------------------------------
+# shard server contracts
+# --------------------------------------------------------------------------
+
+
+class TestShardServer:
+    def test_ownership_check_fails_typed(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        shard = ShardServer(db, "lonely", config=tier_config())
+        shard.grant("default", 0)
+        with shard:
+            with db.snapshot() as snapshot:
+                future = shard.submit_shard(
+                    [ATTR], q, 5, snapshot=snapshot, groups=[0, 1]
+                )
+                error = future.exception(timeout=10)
+        assert isinstance(error, SegmentOwnershipError)
+        assert error.group == 1
+
+    def test_partial_over_owned_groups(self, loaded_post_db, rng):
+        db = loaded_post_db
+        q = rng.standard_normal(DIM).astype(np.float32)
+        shard = ShardServer(db, "solo", config=tier_config())
+        num_groups = db.service.store("Post", "content_emb").num_segments
+        for group in range(num_groups):
+            shard.grant("default", group)
+        with shard:
+            with db.snapshot() as snapshot:
+                future = shard.submit_shard(
+                    [ATTR], q, 5,
+                    snapshot=snapshot, groups=range(num_groups),
+                )
+                parts = future.result(timeout=10)
+        assert merge_sharded_topk([list(parts)], 5) == merged_triples(db, q, 5)
+
+    def test_grant_revoke_counted(self, loaded_post_db):
+        shard = ShardServer(loaded_post_db, "s")
+        shard.grant("default", 0)
+        shard.grant("default", 0)  # idempotent: counted once
+        shard.revoke("default", 0)
+        shard.revoke("default", 0)
+        stats_owned = shard.owned_groups()
+        assert stats_owned == {}
+        assert shard._rebalances_in == 1
+        assert shard._rebalances_out == 1
